@@ -1,0 +1,146 @@
+// Command portal runs a named N-body problem over CSV datasets — the
+// out-of-the-box experience the paper promises for domain scientists.
+//
+// Usage:
+//
+//	portal -problem knn  -query q.csv -ref r.csv -k 5        [-o out.csv]
+//	portal -problem rs   -query q.csv -ref r.csv -lo 0 -hi 2 [-o out.csv]
+//	portal -problem kde  -query q.csv -ref r.csv [-sigma S] [-tau T]
+//	portal -problem hausdorff -query a.csv -ref b.csv
+//	portal -problem 2pc  -query data.csv -radius R
+//	portal -problem 3pc  -query data.csv -radius R
+//	portal -problem mst  -query data.csv
+//	portal -problem bh   -query pos3d.csv [-theta 0.5] [-eps 0.05]
+//
+// Every problem prints one result row per line; -o writes CSV instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"portal/internal/problems"
+	"portal/internal/storage"
+	"portal/nbody"
+)
+
+func main() {
+	problem := flag.String("problem", "", "knn, rs, kde, hausdorff, 2pc, 3pc, mst, bh")
+	queryPath := flag.String("query", "", "query (or sole) dataset CSV")
+	refPath := flag.String("ref", "", "reference dataset CSV (defaults to -query)")
+	out := flag.String("o", "", "output CSV path (default stdout)")
+	k := flag.Int("k", 1, "neighbors for knn")
+	lo := flag.Float64("lo", 0, "window lower bound for rs")
+	hi := flag.Float64("hi", 1, "window upper bound for rs")
+	sigma := flag.Float64("sigma", 0, "KDE bandwidth (0 = Silverman)")
+	tau := flag.Float64("tau", 1e-6, "approximation threshold")
+	radius := flag.Float64("radius", 1, "radius for 2pc/3pc")
+	theta := flag.Float64("theta", 0.5, "Barnes-Hut opening angle")
+	eps := flag.Float64("eps", 0.05, "Barnes-Hut softening")
+	leaf := flag.Int("leaf", 32, "tree leaf size q")
+	seq := flag.Bool("seq", false, "disable parallel traversal")
+	flag.Parse()
+
+	if *problem == "" || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "portal: -problem and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	query, err := storage.FromCSV(*queryPath)
+	fatal(err)
+	ref := query
+	if *refPath != "" {
+		ref, err = storage.FromCSV(*refPath)
+		fatal(err)
+	}
+	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Tau: *tau}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	switch *problem {
+	case "knn":
+		idx, dists, err := nbody.KNN(query, ref, *k, cfg)
+		fatal(err)
+		for i := range idx {
+			for j := range idx[i] {
+				if j > 0 {
+					fmt.Fprint(w, ",")
+				}
+				fmt.Fprintf(w, "%d,%s", idx[i][j], fmtF(dists[i][j]))
+			}
+			fmt.Fprintln(w)
+		}
+	case "rs":
+		lists, err := nbody.RangeSearch(query, ref, *lo, *hi, cfg)
+		fatal(err)
+		for _, lst := range lists {
+			for j, v := range lst {
+				if j > 0 {
+					fmt.Fprint(w, ",")
+				}
+				fmt.Fprintf(w, "%d", v)
+			}
+			fmt.Fprintln(w)
+		}
+	case "kde":
+		s := *sigma
+		if s <= 0 {
+			s = nbody.SilvermanBandwidth(ref)
+			fmt.Fprintf(os.Stderr, "portal: Silverman bandwidth %g\n", s)
+		}
+		dens, err := nbody.KDE(query, ref, s, cfg)
+		fatal(err)
+		for _, v := range dens {
+			fmt.Fprintln(w, fmtF(v))
+		}
+	case "hausdorff":
+		h, err := nbody.Hausdorff(query, ref, cfg)
+		fatal(err)
+		fmt.Fprintln(w, fmtF(h))
+	case "2pc":
+		c, err := nbody.TwoPointCorrelation(query, *radius, cfg)
+		fatal(err)
+		fmt.Fprintln(w, fmtF(c))
+	case "3pc":
+		c, err := nbody.ThreePointCorrelation(query, *radius, cfg)
+		fatal(err)
+		fmt.Fprintln(w, fmtF(c))
+	case "mst":
+		edges, total, err := nbody.MST(query, cfg)
+		fatal(err)
+		for _, e := range edges {
+			fmt.Fprintf(w, "%d,%d,%s\n", e.A, e.B, fmtF(e.Weight))
+		}
+		fmt.Fprintf(os.Stderr, "portal: total MST weight %g\n", total)
+	case "bh":
+		acc, err := nbody.BarnesHut(query, nil, problems.BHConfig{
+			Theta: *theta, Eps: *eps, LeafSize: *leaf, Parallel: !*seq,
+		})
+		fatal(err)
+		for _, a := range acc {
+			fmt.Fprintf(w, "%s,%s,%s\n", fmtF(a[0]), fmtF(a[1]), fmtF(a[2]))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "portal: unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "portal:", err)
+		os.Exit(1)
+	}
+}

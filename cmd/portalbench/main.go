@@ -1,0 +1,82 @@
+// Command portalbench regenerates the paper's evaluation tables at
+// laptop scale.
+//
+// Usage:
+//
+//	portalbench -experiment table2          # dataset summary (Table II)
+//	portalbench -experiment table4          # Portal vs expert (Table IV)
+//	portalbench -experiment table4-loc      # lines-of-code comparison
+//	portalbench -experiment table5          # Portal vs libraries (Table V)
+//	portalbench -experiment all [-scale N] [-seq] [-reps R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"portal/internal/bench"
+	"portal/internal/dataset"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, or all")
+	scale := flag.Int("scale", 20000, "points per dataset")
+	seed := flag.Int64("seed", 1, "synthetic data seed")
+	seq := flag.Bool("seq", false, "disable parallel traversal")
+	reps := flag.Int("reps", 1, "repetitions per measurement (min kept)")
+	leaf := flag.Int("leaf", 32, "tree leaf size q")
+	flag.Parse()
+
+	o := bench.Options{
+		Scale:    *scale,
+		Seed:     *seed,
+		Parallel: !*seq,
+		LeafSize: *leaf,
+		Reps:     *reps,
+	}
+
+	var t4, t5 []bench.Row
+	switch *experiment {
+	case "table2":
+		fmt.Print(dataset.Summary(*scale))
+	case "table4":
+		fmt.Println("== Table IV: Portal vs expert (hand-optimized) ==")
+		t4 = bench.Table4(o, os.Stdout)
+	case "table4-loc":
+		fmt.Println("== Table IV (LOC): Portal program size vs expert ==")
+		fmt.Print(bench.Table4LOC())
+	case "table5":
+		fmt.Println("== Table V: Portal vs library baselines ==")
+		t5 = bench.Table5(o, os.Stdout)
+	case "crossover":
+		fmt.Println("== Crossover: tree-based vs brute force (k-NN) ==")
+		bench.Crossover(o, os.Stdout)
+	case "leafsweep":
+		fmt.Println("== Leaf size sweep (k-NN) ==")
+		bench.LeafSweep(o, os.Stdout)
+	case "workersweep":
+		fmt.Println("== Worker sweep (k-NN) ==")
+		bench.WorkerSweep(o, os.Stdout)
+	case "tausweep":
+		fmt.Println("== KDE tau accuracy/time sweep ==")
+		bench.TauSweep(o, os.Stdout)
+	case "all":
+		fmt.Println("== Table II: datasets ==")
+		fmt.Print(dataset.Summary(*scale))
+		fmt.Println("\n== Table IV: Portal vs expert (hand-optimized) ==")
+		t4 = bench.Table4(o, os.Stdout)
+		fmt.Println("\n== Table IV (LOC) ==")
+		fmt.Print(bench.Table4LOC())
+		fmt.Println("\n== Table V: Portal vs library baselines ==")
+		t5 = bench.Table5(o, os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "portalbench: unknown experiment %q\n", *experiment)
+		os.Exit(1)
+	}
+	if s := bench.Summary(t4, t5); s != "" {
+		fmt.Println("\n== Shape summary ==")
+		fmt.Print(s)
+	}
+}

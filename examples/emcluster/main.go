@@ -1,0 +1,92 @@
+// EM clustering example: fit a Gaussian mixture with EM (the paper's
+// iterative two-sub-problem N-body computation: E-step +
+// log-likelihood), then reuse the fitted components as a Bayes
+// classifier and compare against training a naive Bayes model on the
+// recovered hard labels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"portal"
+	"portal/internal/dataset"
+	"portal/nbody"
+)
+
+func main() {
+	// Three separable blobs with known membership; the tail of the
+	// same draw serves as held-out data from the same mixture.
+	all, allLabels := dataset.GenerateBlobs(8000, 4, 3, 21)
+	rows := all.Rows()
+	data := portalStorage(rows[:6000])
+	trueLabels := allLabels[:6000]
+	fresh := portalStorage(rows[6000:])
+	freshLabels := allLabels[6000:]
+
+	model, err := nbody.EMFit(data, nbody.EMConfig{K: 3, MaxIters: 30, Tol: 1e-6, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EM converged in %d iterations; log-likelihood %.1f -> %.1f\n",
+		len(model.LogLik), model.LogLik[0], model.LogLik[len(model.LogLik)-1])
+
+	// Hard assignments from the responsibilities.
+	resp := model.Responsibilities(data)
+	hard := make([]int, data.Len())
+	for i := range hard {
+		best, arg := -1.0, 0
+		for k := range resp {
+			if resp[k][i] > best {
+				best, arg = resp[k][i], k
+			}
+		}
+		hard[i] = arg
+	}
+	// Cluster purity against the generating labels (components are
+	// permuted, so score the best per-cluster majority).
+	purity := clusterPurity(hard, trueLabels, 3)
+	fmt.Printf("EM cluster purity vs generating labels: %.3f\n", purity)
+
+	// Train NBC on the EM-recovered labels and classify fresh points.
+	nbc, err := nbody.NBCTrain(data, hard, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := nbc.Classify(fresh, nbody.Config{LeafSize: 32, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NBC purity on fresh data: %.3f\n", clusterPurity(pred, freshLabels, 3))
+}
+
+func portalStorage(rows [][]float64) *nbody.Storage {
+	s, err := portal.NewStorage(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+// clusterPurity maps each predicted cluster to its majority true label
+// and scores the fraction matched.
+func clusterPurity(pred, truth []int, k int) float64 {
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, k)
+	}
+	for i := range pred {
+		counts[pred[i]][truth[i]]++
+	}
+	correct := 0
+	for c := 0; c < k; c++ {
+		best := 0
+		for t := 0; t < k; t++ {
+			if counts[c][t] > best {
+				best = counts[c][t]
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred))
+}

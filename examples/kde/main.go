@@ -1,0 +1,57 @@
+// KDE example: Gaussian kernel density estimation over a synthetic
+// IHEPC-like dataset, demonstrating the approximation problem class
+// and the τ time/accuracy knob the paper exposes (Section II-B).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"portal"
+	"portal/internal/dataset"
+	"portal/internal/problems"
+)
+
+func main() {
+	data := dataset.MustGenerate("IHEPC", 20000, 7)
+	sigma := problems.SilvermanBandwidth(data)
+	fmt.Printf("dataset: %d x %d, Silverman bandwidth %.4f\n",
+		data.Len(), data.Dim(), sigma)
+
+	// Sweep the approximation threshold: looser τ → faster, bounded
+	// error. This is the tuning knob of Section II-B.
+	var exact []float64
+	for _, tau := range []float64{1e-8, 1e-5, 1e-3, 1e-1} {
+		expr := portal.NewExpr()
+		expr.AddLayer(portal.FORALL, data, nil)
+		expr.AddLayer(portal.SUM, data, portal.Gaussian(sigma))
+		expr.Configure(portal.Config{Tau: tau, LeafSize: 32, Parallel: true})
+		t0 := time.Now()
+		out, err := expr.Execute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+		if exact == nil {
+			exact = out.Values
+			fmt.Printf("tau=%-8g time=%-12v (reference run)\n", tau, elapsed)
+			continue
+		}
+		var maxErr float64
+		for i := range exact {
+			if e := abs(out.Values[i] - exact[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		fmt.Printf("tau=%-8g time=%-12v approxes=%-8d max abs err=%.3g (bound %.3g)\n",
+			tau, elapsed, out.Stats.Approxes, maxErr, tau*float64(data.Len()))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

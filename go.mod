@@ -1,0 +1,3 @@
+module portal
+
+go 1.22

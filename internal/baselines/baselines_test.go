@@ -1,0 +1,330 @@
+// Package baselines_test cross-validates every baseline against the
+// Portal pipeline: the paper's comparisons are only meaningful if all
+// implementations compute the same answers.
+package baselines_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"portal/internal/baselines/expert"
+	"portal/internal/baselines/extlib"
+	"portal/internal/baselines/fdpslike"
+	"portal/internal/problems"
+	"portal/internal/storage"
+)
+
+func randRows(rng *rand.Rand, n, d int, spread float64) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64() * spread
+		}
+	}
+	return rows
+}
+
+func TestExpertKNNMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{3, 8} {
+		q := storage.MustFromRows(randRows(rng, 200, d, 4))
+		r := storage.MustFromRows(randRows(rng, 300, d, 4))
+		k := 4
+		pIdx, pDist, err := problems.KNN(q, r, k, problems.Config{LeafSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx2, dist2 := expert.KNN(q, r, k, expert.Options{LeafSize: 16})
+		for i := range pIdx {
+			for j := 0; j < k; j++ {
+				if math.Abs(pDist[i][j]-dist2[i][j]) > 1e-4 {
+					t.Fatalf("d=%d query %d rank %d: portal %v expert %v",
+						d, i, j, pDist[i][j], dist2[i][j])
+				}
+			}
+		}
+		_ = idx2
+	}
+}
+
+func TestExpertKNNParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := storage.MustFromRows(randRows(rng, 1500, 4, 4))
+	r := storage.MustFromRows(randRows(rng, 1500, 4, 4))
+	_, seqD := expert.KNN(q, r, 3, expert.Options{LeafSize: 16})
+	_, parD := expert.KNN(q, r, 3, expert.Options{LeafSize: 16, Parallel: true})
+	for i := range seqD {
+		for j := range seqD[i] {
+			if seqD[i][j] != parD[i][j] {
+				t.Fatalf("query %d rank %d differs in parallel expert KNN", i, j)
+			}
+		}
+	}
+}
+
+func TestExpertKDEMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := storage.MustFromRows(randRows(rng, 300, 3, 2))
+	r := storage.MustFromRows(randRows(rng, 400, 3, 2))
+	sigma, tau := 1.0, 1e-4
+	p, err := problems.KDE(q, r, sigma, problems.Config{LeafSize: 16, Tau: tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := expert.KDE(q, r, sigma, tau, expert.Options{LeafSize: 16})
+	// Both are tau-approximations of the same sum; each is within
+	// tau·N of the truth, so they are within 2·tau·N of each other.
+	bound := 2 * tau * float64(r.Len())
+	for i := range p {
+		if math.Abs(p[i]-e[i]) > bound {
+			t.Fatalf("query %d: portal %v expert %v", i, p[i], e[i])
+		}
+	}
+}
+
+func TestExpertRangeSearchMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := storage.MustFromRows(randRows(rng, 200, 3, 2))
+	r := storage.MustFromRows(randRows(rng, 300, 3, 2))
+	p, err := problems.RangeSearch(q, r, 0.5, 2.5, problems.Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := expert.RangeSearch(q, r, 0.5, 2.5, expert.Options{LeafSize: 16})
+	for i := range p {
+		a := append([]int(nil), p[i]...)
+		b := append([]int(nil), e[i]...)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: portal %d matches, expert %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d element %d: %d vs %d", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestExpertRangeSearchParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := storage.MustFromRows(randRows(rng, 800, 3, 2))
+	seq := expert.RangeSearch(q, q, 0, 1.5, expert.Options{LeafSize: 16})
+	par := expert.RangeSearch(q, q, 0, 1.5, expert.Options{LeafSize: 16, Parallel: true})
+	for i := range seq {
+		a := append([]int(nil), seq[i]...)
+		b := append([]int(nil), par[i]...)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d matches", i, len(a), len(b))
+		}
+	}
+}
+
+func TestExpertHausdorffMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := storage.MustFromRows(randRows(rng, 250, 4, 4))
+	b := storage.MustFromRows(randRows(rng, 260, 4, 4))
+	p, err := problems.Hausdorff(a, b, problems.Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := expert.Hausdorff(a, b, expert.Options{LeafSize: 16})
+	if math.Abs(p-e) > 1e-4*math.Max(1, e) {
+		t.Fatalf("portal %v vs expert %v", p, e)
+	}
+}
+
+func TestExpertMSTMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := storage.MustFromRows(randRows(rng, 300, 3, 5))
+	_, pw, err := problems.MST(s, problems.Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ew := expert.MST(s, expert.Options{LeafSize: 16})
+	if math.Abs(pw-ew) > 1e-6*pw {
+		t.Fatalf("portal MST %v vs expert %v", pw, ew)
+	}
+}
+
+func TestExpertEMMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var rows [][]float64
+	for i := 0; i < 300; i++ {
+		c := float64(i%2) * 7
+		rows = append(rows, []float64{c + rng.NormFloat64(), c + rng.NormFloat64()})
+	}
+	s := storage.MustFromRows(rows)
+	res, err := expert.EM(s, expert.EMOptions{K: 2, MaxIters: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.LogLik); i++ {
+		if res.LogLik[i] < res.LogLik[i-1]-1e-6 {
+			t.Fatalf("expert EM log-likelihood decreased at %d", i)
+		}
+	}
+	// Same seed in both implementations → same initialization → same
+	// trajectory (both use identical math).
+	pm, err := problems.EMFit(s, problems.EMConfig{K: 2, MaxIters: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.LogLik {
+		if math.Abs(res.LogLik[i]-pm.LogLik[i]) > 1e-6*math.Abs(pm.LogLik[i]) {
+			t.Fatalf("iter %d: expert LL %v vs portal %v", i, res.LogLik[i], pm.LogLik[i])
+		}
+	}
+}
+
+func TestExpertEMParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := storage.MustFromRows(randRows(rng, 500, 3, 2))
+	seq, err := expert.EM(s, expert.EMOptions{K: 3, MaxIters: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := expert.EM(s, expert.EMOptions{K: 3, MaxIters: 8, Seed: 1,
+		Options: expert.Options{Parallel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.LogLik {
+		if math.Abs(seq.LogLik[i]-par.LogLik[i]) > 1e-6*math.Abs(seq.LogLik[i]) {
+			t.Fatalf("iter %d: sequential %v vs parallel %v", i, seq.LogLik[i], par.LogLik[i])
+		}
+	}
+}
+
+func TestSKLearnTwoPointMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := storage.MustFromRows(randRows(rng, 400, 3, 2))
+	p, err := problems.TwoPointCorrelation(s, 1.5, problems.Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := extlib.SKLearnTwoPoint(s, 1.5, 16)
+	if p != sk {
+		t.Fatalf("portal 2PC %v vs sklearn-like %v", p, sk)
+	}
+}
+
+func TestSKLearnKNNMatchesExpert(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := storage.MustFromRows(randRows(rng, 150, 4, 3))
+	r := storage.MustFromRows(randRows(rng, 250, 4, 3))
+	_, eD := expert.KNN(q, r, 3, expert.Options{LeafSize: 16})
+	_, sD := extlib.SKLearnKNN(q, r, 3, 16)
+	for i := range eD {
+		for j := range eD[i] {
+			if math.Abs(eD[i][j]-sD[i][j]) > 1e-4 {
+				t.Fatalf("query %d rank %d: expert %v sklearn %v", i, j, eD[i][j], sD[i][j])
+			}
+		}
+	}
+}
+
+func TestMLPackNBCMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var rows [][]float64
+	var labels []int
+	centers := [][]float64{{0, 0, 0}, {7, 0, 0}}
+	for k, c := range centers {
+		for i := 0; i < 200; i++ {
+			rows = append(rows, []float64{
+				c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64(), c[2] + rng.NormFloat64(),
+			})
+			labels = append(labels, k)
+		}
+	}
+	train := storage.MustFromRows(rows)
+	pModel, err := problems.NBCTrain(train, labels, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mModel, err := extlib.MLPackNBCTrain(train, labels, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := storage.MustFromRows(randRows(rng, 300, 3, 4))
+	pLab, err := pModel.Classify(test, problems.Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLab := mModel.Classify(test)
+	for i := range pLab {
+		if pLab[i] != mLab[i] {
+			t.Fatalf("point %d: portal class %d vs mlpack-like %d", i, pLab[i], mLab[i])
+		}
+	}
+}
+
+func TestFDPSBarnesHutMatchesPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pos := storage.MustFromRows(randRows(rng, 500, 3, 5))
+	mass := make([]float64, 500)
+	for i := range mass {
+		mass[i] = 0.5 + rng.Float64()
+	}
+	cfg := problems.BHConfig{Theta: 0.3, Eps: 0.05, LeafSize: 16}
+	p, err := problems.BarnesHut(pos, mass, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fdpslike.BarnesHut(pos, mass, fdpslike.Options{Theta: 0.3, Eps: 0.05, LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different MACs (dual vs single tree) approximate differently;
+	// both must stay near the brute-force truth.
+	truth, err := problems.BarnesHutBrute(pos, mass, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got [][]float64) {
+		var maxRel float64
+		for i := range got {
+			var num, den float64
+			for c := 0; c < 3; c++ {
+				diff := got[i][c] - truth[i][c]
+				num += diff * diff
+				den += truth[i][c] * truth[i][c]
+			}
+			rel := math.Sqrt(num) / math.Max(math.Sqrt(den), 1e-12)
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		if maxRel > 0.05 {
+			t.Fatalf("%s: max relative error %v vs brute force", name, maxRel)
+		}
+	}
+	check("portal dual-tree", p)
+	check("fdps-like single-tree", f)
+}
+
+func TestFDPSParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pos := storage.MustFromRows(randRows(rng, 1000, 3, 5))
+	seq, err := fdpslike.BarnesHut(pos, nil, fdpslike.Options{Theta: 0.5, Eps: 0.05, LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := fdpslike.BarnesHut(pos, nil, fdpslike.Options{Theta: 0.5, Eps: 0.05, LeafSize: 16, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		for c := 0; c < 3; c++ {
+			if seq[i][c] != par[i][c] {
+				t.Fatalf("particle %d axis %d differs under parallelism", i, c)
+			}
+		}
+	}
+}

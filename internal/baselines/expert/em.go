@@ -1,0 +1,232 @@
+package expert
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"portal/internal/linalg"
+	"portal/internal/storage"
+)
+
+// EM is the hand-optimized Gaussian mixture fit: the E-step and
+// log-likelihood are fused into one pass over the data, parallelized
+// over point blocks, with each component's Mahalanobis distance going
+// through the Cholesky factor (the same numerical optimization the
+// Portal compiler applies automatically).
+type EMResult struct {
+	Means  [][]float64
+	Priors []float64
+	LogLik []float64
+	Resp   [][]float64 // resp[k][i]
+}
+
+// EMOptions configure the fit.
+type EMOptions struct {
+	K        int
+	MaxIters int
+	Ridge    float64
+	Seed     int64
+	Options
+}
+
+// EM fits the mixture and returns the trajectory of log-likelihoods.
+func EM(data *storage.Storage, o EMOptions) (*EMResult, error) {
+	n, d := data.Len(), data.Dim()
+	if o.MaxIters <= 0 {
+		o.MaxIters = 25
+	}
+	if o.Ridge <= 0 {
+		o.Ridge = 1e-6
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	pts := data.Rows()
+
+	_, cov, err := linalg.Covariance(pts, o.Ridge)
+	if err != nil {
+		return nil, err
+	}
+	type comp struct {
+		prior float64
+		m     *linalg.Mahalanobis
+	}
+	comps := make([]comp, o.K)
+	seeds := kmeansppSeeds(pts, o.K, rng)
+	for k := 0; k < o.K; k++ {
+		mean := append([]float64(nil), pts[seeds[k]]...)
+		m, err := linalg.NewMahalanobis(mean, cov.Clone())
+		if err != nil {
+			return nil, err
+		}
+		comps[k] = comp{prior: 1 / float64(o.K), m: m}
+	}
+
+	resp := make([][]float64, o.K)
+	for k := range resp {
+		resp[k] = make([]float64, n)
+	}
+	res := &EMResult{}
+	workers := 1
+	if o.Parallel {
+		workers = o.workers()
+	}
+
+	for iter := 0; iter < o.MaxIters; iter++ {
+		// Fused E-step + log-likelihood, block-parallel.
+		llParts := make([]float64, workers)
+		var wg sync.WaitGroup
+		block := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*block, (w+1)*block
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				evals := make([]*linalg.Mahalanobis, o.K)
+				priors := make([]float64, o.K)
+				for k := range comps {
+					evals[k] = comps[k].m.Clone()
+					priors[k] = math.Log(comps[k].prior)
+				}
+				logs := make([]float64, o.K)
+				var ll float64
+				for i := lo; i < hi; i++ {
+					x := pts[i]
+					maxLog := math.Inf(-1)
+					for k := range evals {
+						logs[k] = priors[k] + evals[k].LogGaussian(x)
+						if logs[k] > maxLog {
+							maxLog = logs[k]
+						}
+					}
+					var sum float64
+					for k := range logs {
+						logs[k] = math.Exp(logs[k] - maxLog)
+						sum += logs[k]
+					}
+					inv := 1 / sum
+					for k := range logs {
+						resp[k][i] = logs[k] * inv
+					}
+					ll += maxLog + math.Log(sum)
+				}
+				llParts[w] = ll
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		var ll float64
+		for _, v := range llParts {
+			ll += v
+		}
+		res.LogLik = append(res.LogLik, ll)
+
+		// M-step (sequential; it is O(nKd²) like the E-step but
+		// dominated by covariance accumulation, hand-fused here).
+		for k := 0; k < o.K; k++ {
+			var nk float64
+			mean := make([]float64, d)
+			rk := resp[k]
+			for i := 0; i < n; i++ {
+				w := rk[i]
+				nk += w
+				p := pts[i]
+				for j := 0; j < d; j++ {
+					mean[j] += w * p[j]
+				}
+			}
+			if nk < 1e-10 {
+				continue
+			}
+			inv := 1 / nk
+			for j := range mean {
+				mean[j] *= inv
+			}
+			covK := linalg.NewMatrix(d)
+			diff := make([]float64, d)
+			for i := 0; i < n; i++ {
+				w := rk[i]
+				p := pts[i]
+				for j := 0; j < d; j++ {
+					diff[j] = p[j] - mean[j]
+				}
+				for a := 0; a < d; a++ {
+					wa := w * diff[a]
+					row := covK.Data[a*d : (a+1)*d]
+					for b := 0; b <= a; b++ {
+						row[b] += wa * diff[b]
+					}
+				}
+			}
+			for a := 0; a < d; a++ {
+				for b := 0; b <= a; b++ {
+					v := covK.At(a, b) * inv
+					covK.Set(a, b, v)
+					covK.Set(b, a, v)
+				}
+				covK.Set(a, a, covK.At(a, a)+o.Ridge)
+			}
+			m, err := linalg.NewMahalanobis(mean, covK)
+			if err != nil {
+				return nil, err
+			}
+			comps[k] = comp{prior: nk / float64(n), m: m}
+		}
+	}
+	res.Resp = resp
+	res.Means = make([][]float64, o.K)
+	res.Priors = make([]float64, o.K)
+	for k := range comps {
+		res.Means[k] = comps[k].m.Mean
+		res.Priors[k] = comps[k].prior
+	}
+	return res, nil
+}
+
+// kmeansppSeeds picks k initial mean indices with k-means++-style
+// distance-proportional sampling, which keeps EM from collapsing
+// multiple components onto one mode the way uniform seeding can.
+func kmeansppSeeds(pts [][]float64, k int, rng *rand.Rand) []int {
+	n := len(pts)
+	seeds := make([]int, 0, k)
+	seeds = append(seeds, rng.Intn(n))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+	for len(seeds) < k {
+		last := pts[seeds[len(seeds)-1]]
+		var total float64
+		for i, p := range pts {
+			var s float64
+			for j := range p {
+				diff := p[j] - last[j]
+				s += diff * diff
+			}
+			if s < d2[i] {
+				d2[i] = s
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			seeds = append(seeds, rng.Intn(n))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i := 0; i < n; i++ {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		seeds = append(seeds, pick)
+	}
+	return seeds
+}

@@ -1,0 +1,86 @@
+// Package expert contains hand-optimized implementations of the six
+// Table IV problems — the stand-in for the paper's "expert" baseline,
+// the hand-tuned PASCAL C++ library. Each implementation uses the same
+// kd-tree and the same multi-tree traversal *algorithm* as the Portal
+// pipeline but is written directly: kernels fused into the recursion,
+// no IR, no closures, no operator dispatch. The Portal-vs-expert gap
+// measured by the Table IV harness is therefore exactly what the paper
+// measures: the abstraction overhead of the DSL + compiler against
+// hand specialization.
+package expert
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"portal/internal/fastmath"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// Options mirror the engine's execution knobs.
+type Options struct {
+	LeafSize int
+	Parallel bool
+	Workers  int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// dist2 computes squared Euclidean distance with layout-aware access.
+func dist2(a, b []float64) float64 { return fastmath.Hypot2(a, b) }
+
+// pointOf reads point i of t into buf (no copy for row-major).
+func pointOf(t *tree.Tree, i int, buf []float64) []float64 {
+	if t.Data.Layout() == storage.RowMajor {
+		return t.Data.Row(i)
+	}
+	return t.Data.Point(i, buf)
+}
+
+// parallelOverQueryChildren runs f over the query-side child split in
+// goroutines down to a spawn depth — the same task-parallel scheme the
+// Portal runtime uses.
+type taskPool struct {
+	wg  sync.WaitGroup
+	sem chan struct{}
+}
+
+func newTaskPool(workers int) *taskPool {
+	return &taskPool{sem: make(chan struct{}, workers)}
+}
+
+func (p *taskPool) spawn(f func()) bool {
+	select {
+	case p.sem <- struct{}{}:
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer func() { <-p.sem }()
+			f()
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *taskPool) wait() { p.wg.Wait() }
+
+// minDist returns the minimum Euclidean distance between two node
+// boxes.
+func minDist(a, b *tree.Node) float64 {
+	return math.Sqrt(a.BBox.MinDist2(b.BBox))
+}
+
+// maxDist returns the maximum Euclidean distance between two node
+// boxes.
+func maxDist(a, b *tree.Node) float64 {
+	return math.Sqrt(a.BBox.MaxDist2(b.BBox))
+}

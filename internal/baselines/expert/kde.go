@@ -1,0 +1,143 @@
+package expert
+
+import (
+	"portal/internal/fastmath"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// KDE is the hand-optimized dual-tree Gaussian kernel density
+// estimate: inline Gaussian evaluation over squared distances, node
+// deltas pushed down once at the end, approximation when the kernel
+// variation over a node pair falls below tau.
+func KDE(query, ref *storage.Storage, sigma, tau float64, opts Options) []float64 {
+	qt := tree.BuildKD(query, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	rt := tree.BuildKD(ref, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	s := &kdeState{
+		qt: qt, rt: rt,
+		c:     1 / (2 * sigma * sigma),
+		tau:   tau,
+		val:   make([]float64, query.Len()),
+		delta: make([]float64, qt.NodeCount),
+	}
+	if opts.Parallel && opts.workers() > 1 {
+		pool := newTaskPool(opts.workers())
+		s.dualPar(qt.Root, rt.Root, pool, 6)
+		pool.wait()
+	} else {
+		s.dual(qt.Root, rt.Root)
+	}
+	s.pushDown(qt.Root, 0)
+	out := make([]float64, query.Len())
+	for pos, orig := range qt.Index {
+		out[orig] = s.val[pos]
+	}
+	return out
+}
+
+type kdeState struct {
+	qt, rt *tree.Tree
+	c      float64 // 1/(2σ²)
+	tau    float64
+	val    []float64
+	delta  []float64
+}
+
+// gauss evaluates exp(-c·d²) with the strength-reduced exponential.
+func (s *kdeState) gauss(d2 float64) float64 { return fastmath.ExpFast(-s.c * d2) }
+
+func (s *kdeState) decide(qn, rn *tree.Node) bool {
+	dlo := qn.BBox.MinDist2(rn.BBox)
+	dhi := qn.BBox.MaxDist2(rn.BBox)
+	kmax := s.gauss(dlo)
+	kmin := s.gauss(dhi)
+	return kmax-kmin < s.tau
+}
+
+func (s *kdeState) approx(qn, rn *tree.Node) {
+	s.delta[qn.ID] += s.gauss(fastmath.Hypot2(qn.Centroid, rn.Centroid)) * float64(rn.Count())
+}
+
+func (s *kdeState) dual(qn, rn *tree.Node) {
+	if s.decide(qn, rn) {
+		s.approx(qn, rn)
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	for _, qc := range split(qn) {
+		for _, rc := range split(rn) {
+			s.dual(qc, rc)
+		}
+	}
+}
+
+func (s *kdeState) dualPar(qn, rn *tree.Node, pool *taskPool, depth int) {
+	if s.decide(qn, rn) {
+		s.approx(qn, rn)
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	qsplit := split(qn)
+	if depth <= 0 || len(qsplit) < 2 {
+		for _, qc := range qsplit {
+			for _, rc := range split(rn) {
+				s.dual(qc, rc)
+			}
+		}
+		return
+	}
+	done := make(chan struct{})
+	spawned := pool.spawn(func() {
+		defer close(done)
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	})
+	if !spawned {
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	}
+	for _, qc := range qsplit[1:] {
+		for _, rc := range split(rn) {
+			s.dualPar(qc, rc, pool, depth-1)
+		}
+	}
+	if spawned {
+		<-done
+	}
+}
+
+func (s *kdeState) baseCase(qn, rn *tree.Node) {
+	qbuf := make([]float64, s.qt.Dim())
+	rbuf := make([]float64, s.rt.Dim())
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := pointOf(s.qt, qi, qbuf)
+		var acc float64
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			acc += s.gauss(dist2(q, pointOf(s.rt, ri, rbuf)))
+		}
+		s.val[qi] += acc
+	}
+}
+
+func (s *kdeState) pushDown(n *tree.Node, acc float64) {
+	acc += s.delta[n.ID]
+	if n.IsLeaf() {
+		if acc != 0 {
+			for i := n.Begin; i < n.End; i++ {
+				s.val[i] += acc
+			}
+		}
+		return
+	}
+	for _, c := range n.Children {
+		s.pushDown(c, acc)
+	}
+}

@@ -1,0 +1,190 @@
+package expert
+
+import (
+	"math"
+
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// KNN is the hand-optimized dual-tree k-nearest-neighbor search:
+// fused distance loops, inline sorted k-list updates, and bound-based
+// pruning, all specialized for the Euclidean metric.
+func KNN(query, ref *storage.Storage, k int, opts Options) ([][]int, [][]float64) {
+	qt := tree.BuildKD(query, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	rt := tree.BuildKD(ref, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	n := query.Len()
+
+	s := &knnState{
+		qt: qt, rt: rt, k: k,
+		vals:  make([]float64, n*k),
+		args:  make([]int, n*k),
+		bound: make([]float64, qt.NodeCount),
+	}
+	for i := range s.vals {
+		s.vals[i] = math.Inf(1)
+		s.args[i] = -1
+	}
+	for i := range s.bound {
+		s.bound[i] = math.Inf(1)
+	}
+	if opts.Parallel && opts.workers() > 1 {
+		pool := newTaskPool(opts.workers())
+		s.dualPar(qt.Root, rt.Root, pool, 6)
+		pool.wait()
+	} else {
+		s.dual(qt.Root, rt.Root)
+	}
+
+	// Map back to original indices.
+	outIdx := make([][]int, n)
+	outDist := make([][]float64, n)
+	for pos := 0; pos < n; pos++ {
+		orig := qt.Index[pos]
+		idx := make([]int, k)
+		dst := make([]float64, k)
+		for j := 0; j < k; j++ {
+			a := s.args[pos*k+j]
+			if a >= 0 {
+				a = rt.Index[a]
+			}
+			idx[j] = a
+			dst[j] = math.Sqrt(s.vals[pos*k+j])
+		}
+		outIdx[orig] = idx
+		outDist[orig] = dst
+	}
+	return outIdx, outDist
+}
+
+type knnState struct {
+	qt, rt *tree.Tree
+	k      int
+	vals   []float64 // n*k sorted ascending per query
+	args   []int
+	bound  []float64
+}
+
+func (s *knnState) dual(qn, rn *tree.Node) {
+	if qn.BBox.MinDist2(rn.BBox) > s.bound[qn.ID] {
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	for _, qc := range split(qn) {
+		rsplit := split(rn)
+		// Visit the nearer reference child first: tightens bounds
+		// sooner.
+		if len(rsplit) == 2 && qc.BBox.MinDist2(rsplit[1].BBox) < qc.BBox.MinDist2(rsplit[0].BBox) {
+			rsplit[0], rsplit[1] = rsplit[1], rsplit[0]
+		}
+		for _, rc := range rsplit {
+			s.dual(qc, rc)
+		}
+	}
+	s.tighten(qn)
+}
+
+func (s *knnState) dualPar(qn, rn *tree.Node, pool *taskPool, depth int) {
+	if qn.BBox.MinDist2(rn.BBox) > s.bound[qn.ID] {
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	qsplit := split(qn)
+	if depth <= 0 || len(qsplit) < 2 {
+		for _, qc := range qsplit {
+			rsplit := split(rn)
+			if len(rsplit) == 2 && qc.BBox.MinDist2(rsplit[1].BBox) < qc.BBox.MinDist2(rsplit[0].BBox) {
+				rsplit[0], rsplit[1] = rsplit[1], rsplit[0]
+			}
+			for _, rc := range rsplit {
+				s.dual(qc, rc)
+			}
+		}
+		s.tighten(qn)
+		return
+	}
+	done := make(chan struct{})
+	spawned := pool.spawn(func() {
+		defer close(done)
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	})
+	if !spawned {
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	}
+	for _, qc := range qsplit[1:] {
+		for _, rc := range split(rn) {
+			s.dualPar(qc, rc, pool, depth-1)
+		}
+	}
+	if spawned {
+		<-done
+	}
+	s.tighten(qn)
+}
+
+func split(n *tree.Node) []*tree.Node {
+	if n.IsLeaf() {
+		return []*tree.Node{n}
+	}
+	return append([]*tree.Node(nil), n.Children...)
+}
+
+func (s *knnState) baseCase(qn, rn *tree.Node) {
+	k := s.k
+	qbuf := make([]float64, s.qt.Dim())
+	rbuf := make([]float64, s.rt.Dim())
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := pointOf(s.qt, qi, qbuf)
+		base := qi * k
+		worst := s.vals[base+k-1]
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			// Squared-space comparison: the k-list holds squared
+			// distances; one square root per output at extraction.
+			d2 := dist2(q, pointOf(s.rt, ri, rbuf))
+			if d2 >= worst {
+				continue
+			}
+			// Inline sorted insert.
+			j := k - 1
+			for j > 0 && d2 < s.vals[base+j-1] {
+				s.vals[base+j] = s.vals[base+j-1]
+				s.args[base+j] = s.args[base+j-1]
+				j--
+			}
+			s.vals[base+j] = d2
+			s.args[base+j] = ri
+			worst = s.vals[base+k-1]
+		}
+	}
+	// Leaf bound: the worst k-th distance among the leaf's queries.
+	b := math.Inf(-1)
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		if v := s.vals[qi*s.k+s.k-1]; v > b {
+			b = v
+		}
+	}
+	s.bound[qn.ID] = b
+}
+
+func (s *knnState) tighten(qn *tree.Node) {
+	if qn.IsLeaf() {
+		return
+	}
+	b := math.Inf(-1)
+	for _, c := range qn.Children {
+		if v := s.bound[c.ID]; v > b {
+			b = v
+		}
+	}
+	s.bound[qn.ID] = b
+}

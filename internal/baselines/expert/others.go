@@ -1,0 +1,475 @@
+package expert
+
+import (
+	"math"
+	"sort"
+
+	"portal/internal/fastmath"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// RangeSearch is the hand-optimized dual-tree window search: squared
+// thresholds compared against squared distances (no square roots at
+// all), definite-inside node pairs bulk-appended, definite-outside
+// pairs pruned.
+func RangeSearch(query, ref *storage.Storage, lo, hi float64, opts Options) [][]int {
+	qt := tree.BuildKD(query, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	rt := tree.BuildKD(ref, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	s := &rsState{
+		qt: qt, rt: rt,
+		lo2: lo * lo, hi2: hi * hi,
+		lists:  make([][]int, query.Len()),
+		ranges: make([][][2]int, qt.NodeCount),
+	}
+	if lo < 0 {
+		s.lo2 = -1 // any non-negative squared distance passes
+	}
+	if opts.Parallel && opts.workers() > 1 {
+		pool := newTaskPool(opts.workers())
+		s.dualPar(qt.Root, rt.Root, pool, 6)
+		pool.wait()
+	} else {
+		s.dual(qt.Root, rt.Root)
+	}
+	s.pushDown(qt.Root, nil)
+	out := make([][]int, query.Len())
+	for pos, orig := range qt.Index {
+		lst := make([]int, len(s.lists[pos]))
+		for j, p := range s.lists[pos] {
+			lst[j] = rt.Index[p]
+		}
+		out[orig] = lst
+	}
+	return out
+}
+
+type rsState struct {
+	qt, rt   *tree.Tree
+	lo2, hi2 float64
+	lists    [][]int
+	ranges   [][][2]int
+}
+
+// decide returns -1 prune, +1 bulk include, 0 visit.
+func (s *rsState) decide(qn, rn *tree.Node) int {
+	dlo := qn.BBox.MinDist2(rn.BBox)
+	dhi := qn.BBox.MaxDist2(rn.BBox)
+	if dhi <= s.lo2 || dlo >= s.hi2 {
+		return -1
+	}
+	if dlo > s.lo2 && dhi < s.hi2 {
+		return 1
+	}
+	return 0
+}
+
+func (s *rsState) dual(qn, rn *tree.Node) {
+	switch s.decide(qn, rn) {
+	case -1:
+		return
+	case 1:
+		s.ranges[qn.ID] = append(s.ranges[qn.ID], [2]int{rn.Begin, rn.End})
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	for _, qc := range split(qn) {
+		for _, rc := range split(rn) {
+			s.dual(qc, rc)
+		}
+	}
+}
+
+func (s *rsState) dualPar(qn, rn *tree.Node, pool *taskPool, depth int) {
+	switch s.decide(qn, rn) {
+	case -1:
+		return
+	case 1:
+		s.ranges[qn.ID] = append(s.ranges[qn.ID], [2]int{rn.Begin, rn.End})
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	qsplit := split(qn)
+	if depth <= 0 || len(qsplit) < 2 {
+		for _, qc := range qsplit {
+			for _, rc := range split(rn) {
+				s.dual(qc, rc)
+			}
+		}
+		return
+	}
+	done := make(chan struct{})
+	spawned := pool.spawn(func() {
+		defer close(done)
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	})
+	if !spawned {
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	}
+	for _, qc := range qsplit[1:] {
+		for _, rc := range split(rn) {
+			s.dualPar(qc, rc, pool, depth-1)
+		}
+	}
+	if spawned {
+		<-done
+	}
+}
+
+func (s *rsState) baseCase(qn, rn *tree.Node) {
+	qbuf := make([]float64, s.qt.Dim())
+	rbuf := make([]float64, s.rt.Dim())
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := pointOf(s.qt, qi, qbuf)
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			d2 := dist2(q, pointOf(s.rt, ri, rbuf))
+			if d2 > s.lo2 && d2 < s.hi2 {
+				s.lists[qi] = append(s.lists[qi], ri)
+			}
+		}
+	}
+}
+
+func (s *rsState) pushDown(n *tree.Node, acc [][2]int) {
+	acc = append(acc, s.ranges[n.ID]...)
+	if n.IsLeaf() {
+		if len(acc) > 0 {
+			for i := n.Begin; i < n.End; i++ {
+				for _, rg := range acc {
+					for p := rg[0]; p < rg[1]; p++ {
+						s.lists[i] = append(s.lists[i], p)
+					}
+				}
+			}
+		}
+		return
+	}
+	for _, c := range n.Children {
+		s.pushDown(c, acc)
+	}
+}
+
+// Hausdorff is the hand-optimized directed Hausdorff distance
+// max_{a∈A} min_{b∈B}: dual-tree NN with per-node bounds and a final
+// max reduction, squared distances compared throughout.
+func Hausdorff(a, b *storage.Storage, opts Options) float64 {
+	qt := tree.BuildKD(a, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	rt := tree.BuildKD(b, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	s := &hdState{
+		qt: qt, rt: rt,
+		best:  make([]float64, a.Len()),
+		bound: make([]float64, qt.NodeCount),
+	}
+	for i := range s.best {
+		s.best[i] = math.Inf(1)
+	}
+	for i := range s.bound {
+		s.bound[i] = math.Inf(1)
+	}
+	if opts.Parallel && opts.workers() > 1 {
+		pool := newTaskPool(opts.workers())
+		s.dualPar(qt.Root, rt.Root, pool, 6)
+		pool.wait()
+	} else {
+		s.dual(qt.Root, rt.Root)
+	}
+	var m float64
+	for _, v := range s.best {
+		if v > m {
+			m = v
+		}
+	}
+	return math.Sqrt(m)
+}
+
+type hdState struct {
+	qt, rt *tree.Tree
+	best   []float64 // squared NN distance per query position
+	bound  []float64 // node ID → max best under node (squared)
+}
+
+func (s *hdState) dual(qn, rn *tree.Node) {
+	if qn.BBox.MinDist2(rn.BBox) > s.bound[qn.ID] {
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	for _, qc := range split(qn) {
+		rsplit := split(rn)
+		if len(rsplit) == 2 && qc.BBox.MinDist2(rsplit[1].BBox) < qc.BBox.MinDist2(rsplit[0].BBox) {
+			rsplit[0], rsplit[1] = rsplit[1], rsplit[0]
+		}
+		for _, rc := range rsplit {
+			s.dual(qc, rc)
+		}
+	}
+	s.tighten(qn)
+}
+
+func (s *hdState) dualPar(qn, rn *tree.Node, pool *taskPool, depth int) {
+	if qn.BBox.MinDist2(rn.BBox) > s.bound[qn.ID] {
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		s.baseCase(qn, rn)
+		return
+	}
+	qsplit := split(qn)
+	if depth <= 0 || len(qsplit) < 2 {
+		for _, qc := range qsplit {
+			rsplit := split(rn)
+			if len(rsplit) == 2 && qc.BBox.MinDist2(rsplit[1].BBox) < qc.BBox.MinDist2(rsplit[0].BBox) {
+				rsplit[0], rsplit[1] = rsplit[1], rsplit[0]
+			}
+			for _, rc := range rsplit {
+				s.dual(qc, rc)
+			}
+		}
+		s.tighten(qn)
+		return
+	}
+	done := make(chan struct{})
+	spawned := pool.spawn(func() {
+		defer close(done)
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	})
+	if !spawned {
+		for _, rc := range split(rn) {
+			s.dualPar(qsplit[0], rc, pool, depth-1)
+		}
+	}
+	for _, qc := range qsplit[1:] {
+		for _, rc := range split(rn) {
+			s.dualPar(qc, rc, pool, depth-1)
+		}
+	}
+	if spawned {
+		<-done
+	}
+	s.tighten(qn)
+}
+
+func (s *hdState) baseCase(qn, rn *tree.Node) {
+	qbuf := make([]float64, s.qt.Dim())
+	rbuf := make([]float64, s.rt.Dim())
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := pointOf(s.qt, qi, qbuf)
+		best := s.best[qi]
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			if d2 := dist2(q, pointOf(s.rt, ri, rbuf)); d2 < best {
+				best = d2
+			}
+		}
+		s.best[qi] = best
+	}
+	b := math.Inf(-1)
+	for i := qn.Begin; i < qn.End; i++ {
+		if v := s.best[i]; v > b {
+			b = v
+		}
+	}
+	s.bound[qn.ID] = b
+}
+
+func (s *hdState) tighten(qn *tree.Node) {
+	if qn.IsLeaf() {
+		return
+	}
+	b := math.Inf(-1)
+	for _, c := range qn.Children {
+		if v := s.bound[c.ID]; v > b {
+			b = v
+		}
+	}
+	s.bound[qn.ID] = b
+}
+
+// MSTEdge mirrors the problems package edge type.
+type MSTEdge struct {
+	A, B   int
+	Weight float64
+}
+
+// MST is the hand-optimized dual-tree Borůvka EMST, squared distances
+// compared inside the constrained NN rounds.
+func MST(data *storage.Storage, opts Options) ([]MSTEdge, float64) {
+	n := data.Len()
+	t := tree.BuildKD(data, &tree.Options{LeafSize: opts.LeafSize, Parallel: opts.Parallel})
+	parent := make([]int, n)
+	rank := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		if rank[ra] < rank[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		if rank[ra] == rank[rb] {
+			rank[ra]++
+		}
+		return true
+	}
+
+	edges := make([]MSTEdge, 0, n-1)
+	pointComp := make([]int, n)
+	nodeComp := make([]int, t.NodeCount)
+	best := make([]float64, n)
+	bestTo := make([]int, n)
+	bound := make([]float64, t.NodeCount)
+
+	var annotate func(*tree.Node) int
+	annotate = func(nd *tree.Node) int {
+		if nd.IsLeaf() {
+			c := pointComp[nd.Begin]
+			for i := nd.Begin + 1; i < nd.End; i++ {
+				if pointComp[i] != c {
+					c = -1
+					break
+				}
+			}
+			nodeComp[nd.ID] = c
+			return c
+		}
+		c := annotate(nd.Children[0])
+		for _, ch := range nd.Children[1:] {
+			if annotate(ch) != c {
+				c = -1
+			}
+		}
+		if c != -1 {
+			c = nodeComp[nd.Children[0].ID]
+			for _, ch := range nd.Children[1:] {
+				if nodeComp[ch.ID] != c {
+					c = -1
+					break
+				}
+			}
+		}
+		nodeComp[nd.ID] = c
+		return c
+	}
+
+	qbuf := make([]float64, t.Dim())
+	rbuf := make([]float64, t.Dim())
+	var dual func(qn, rn *tree.Node)
+	dual = func(qn, rn *tree.Node) {
+		if c := nodeComp[qn.ID]; c != -1 && c == nodeComp[rn.ID] {
+			return
+		}
+		if qn.BBox.MinDist2(rn.BBox) > bound[qn.ID] {
+			return
+		}
+		if qn.IsLeaf() && rn.IsLeaf() {
+			for qi := qn.Begin; qi < qn.End; qi++ {
+				qc := pointComp[qi]
+				q := pointOf(t, qi, qbuf)
+				for ri := rn.Begin; ri < rn.End; ri++ {
+					if pointComp[ri] == qc {
+						continue
+					}
+					if d2 := fastmath.Hypot2(q, pointOf(t, ri, rbuf)); d2 < best[qi] {
+						best[qi] = d2
+						bestTo[qi] = ri
+					}
+				}
+			}
+			b := math.Inf(-1)
+			for i := qn.Begin; i < qn.End; i++ {
+				if best[i] > b {
+					b = best[i]
+				}
+			}
+			bound[qn.ID] = b
+			return
+		}
+		for _, qc := range split(qn) {
+			rsplit := split(rn)
+			if len(rsplit) == 2 && qc.BBox.MinDist2(rsplit[1].BBox) < qc.BBox.MinDist2(rsplit[0].BBox) {
+				rsplit[0], rsplit[1] = rsplit[1], rsplit[0]
+			}
+			for _, rc := range rsplit {
+				dual(qc, rc)
+			}
+		}
+		if !qn.IsLeaf() {
+			b := math.Inf(-1)
+			for _, c := range qn.Children {
+				if bound[c.ID] > b {
+					b = bound[c.ID]
+				}
+			}
+			bound[qn.ID] = b
+		}
+	}
+
+	for len(edges) < n-1 {
+		for pos := 0; pos < n; pos++ {
+			pointComp[pos] = find(t.Index[pos])
+			best[pos] = math.Inf(1)
+			bestTo[pos] = -1
+		}
+		for i := range bound {
+			bound[i] = math.Inf(1)
+		}
+		annotate(t.Root)
+		dual(t.Root, t.Root)
+
+		compBest := map[int]MSTEdge{}
+		for pos := 0; pos < n; pos++ {
+			if bestTo[pos] < 0 {
+				continue
+			}
+			a := t.Index[pos]
+			b := t.Index[bestTo[pos]]
+			c := pointComp[pos]
+			w := math.Sqrt(best[pos])
+			cur, ok := compBest[c]
+			if !ok || w < cur.Weight {
+				compBest[c] = MSTEdge{A: a, B: b, Weight: w}
+			}
+		}
+		merged := 0
+		for _, e := range compBest {
+			if union(e.A, e.B) {
+				edges = append(edges, e)
+				merged++
+			}
+		}
+		if merged == 0 {
+			break
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight < edges[j].Weight })
+	var total float64
+	for _, e := range edges {
+		total += e.Weight
+	}
+	return edges, total
+}

@@ -1,0 +1,214 @@
+// Package extlib contains baselines that structurally mirror the
+// open-source libraries the paper's Table V compares against:
+//
+//   - scikit-learn-style: single-tree (per-query-point) traversal,
+//     single-threaded, with per-node callback dispatch through an
+//     interface — the visitation pattern of sklearn's BallTree/KDTree
+//     two-point machinery (minus the Python interpreter, which we
+//     cannot and do not emulate; see DESIGN.md "Substitutions").
+//   - MLPACK-style: single-tree, single-threaded, but direct compiled
+//     code with no callback indirection — matching the paper's note
+//     that MLPACK "offers fast algorithms but is not parallel".
+//
+// The Table V harness compares Portal's parallel dual-tree executions
+// against these, reproducing the paper's shape: Portal ≫ library, with
+// the gap widening with dataset size.
+package extlib
+
+import (
+	"math"
+
+	"portal/internal/linalg"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// nodeVisitor is the callback interface the sklearn-style traversal
+// dispatches through (one dynamic call per node, one per point).
+type nodeVisitor interface {
+	visitNode(n *tree.Node) bool // false → prune subtree
+	visitPoint(pos int, d2 float64)
+}
+
+// singleTreeQuery walks the tree for one query point, dispatching
+// through the visitor interface.
+func singleTreeQuery(t *tree.Tree, q []float64, v nodeVisitor) {
+	var rec func(n *tree.Node)
+	buf := make([]float64, t.Dim())
+	rec = func(n *tree.Node) {
+		if !v.visitNode(n) {
+			return
+		}
+		if n.IsLeaf() {
+			for i := n.Begin; i < n.End; i++ {
+				p := t.Data.Point(i, buf)
+				var d2 float64
+				for j := range q {
+					diff := q[j] - p[j]
+					d2 += diff * diff
+				}
+				v.visitPoint(i, d2)
+			}
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// ---- scikit-learn-style 2-point correlation ----
+
+type twoPointVisitor struct {
+	q   []float64
+	r2  float64
+	cnt int
+}
+
+func (v *twoPointVisitor) visitNode(n *tree.Node) bool {
+	// sklearn's two_point_correlation prunes on node distance bounds
+	// but per query point, single-threaded.
+	dlo := n.BBox.MinDist2Point(v.q)
+	if dlo >= v.r2 {
+		return false
+	}
+	return true
+}
+
+func (v *twoPointVisitor) visitPoint(_ int, d2 float64) {
+	if d2 < v.r2 {
+		v.cnt++
+	}
+}
+
+// SKLearnTwoPoint counts pairs within radius r, one single-tree query
+// per point, single-threaded — the scikit-learn comparator of Table V.
+func SKLearnTwoPoint(data *storage.Storage, radius float64, leafSize int) float64 {
+	t := tree.BuildKD(data, &tree.Options{LeafSize: leafSize})
+	n := data.Len()
+	buf := make([]float64, data.Dim())
+	var total int
+	for i := 0; i < n; i++ {
+		v := &twoPointVisitor{q: data.Point(i, buf), r2: radius * radius}
+		singleTreeQuery(t, v.q, v)
+		total += v.cnt
+	}
+	return float64(total)
+}
+
+// ---- scikit-learn-style k-NN (used by ablation benches) ----
+
+type knnVisitor struct {
+	q    []float64
+	k    int
+	vals []float64
+	args []int
+}
+
+func (v *knnVisitor) visitNode(n *tree.Node) bool {
+	return n.BBox.MinDist2Point(v.q) < v.vals[v.k-1]
+}
+
+func (v *knnVisitor) visitPoint(pos int, d2 float64) {
+	if d2 >= v.vals[v.k-1] {
+		return
+	}
+	j := v.k - 1
+	for j > 0 && d2 < v.vals[j-1] {
+		v.vals[j] = v.vals[j-1]
+		v.args[j] = v.args[j-1]
+		j--
+	}
+	v.vals[j] = d2
+	v.args[j] = pos
+}
+
+// SKLearnKNN is the per-point single-tree k-NN, single-threaded.
+func SKLearnKNN(query, ref *storage.Storage, k, leafSize int) ([][]int, [][]float64) {
+	t := tree.BuildKD(ref, &tree.Options{LeafSize: leafSize})
+	n := query.Len()
+	outIdx := make([][]int, n)
+	outDist := make([][]float64, n)
+	buf := make([]float64, query.Dim())
+	for i := 0; i < n; i++ {
+		v := &knnVisitor{q: query.Point(i, buf), k: k,
+			vals: make([]float64, k), args: make([]int, k)}
+		for j := range v.vals {
+			v.vals[j] = math.Inf(1)
+			v.args[j] = -1
+		}
+		singleTreeQuery(t, v.q, v)
+		idx := make([]int, k)
+		dst := make([]float64, k)
+		for j := 0; j < k; j++ {
+			if v.args[j] >= 0 {
+				idx[j] = t.Index[v.args[j]]
+			} else {
+				idx[j] = -1
+			}
+			dst[j] = math.Sqrt(v.vals[j])
+		}
+		outIdx[i] = idx
+		outDist[i] = dst
+	}
+	return outIdx, outDist
+}
+
+// ---- MLPACK-style naive Bayes classifier ----
+
+// MLPackNBCModel is the single-threaded dense Gaussian NB of MLPACK:
+// fast compiled code, no trees, no parallelism.
+type MLPackNBCModel struct {
+	priors []float64
+	evals  []*linalg.Mahalanobis
+}
+
+// MLPackNBCTrain fits per-class Gaussians.
+func MLPackNBCTrain(train *storage.Storage, labels []int, reg float64) (*MLPackNBCModel, error) {
+	nClasses := 0
+	for _, l := range labels {
+		if l+1 > nClasses {
+			nClasses = l + 1
+		}
+	}
+	buckets := make([][][]float64, nClasses)
+	for i := 0; i < train.Len(); i++ {
+		buckets[labels[i]] = append(buckets[labels[i]], train.Point(i, nil))
+	}
+	m := &MLPackNBCModel{
+		priors: make([]float64, nClasses),
+		evals:  make([]*linalg.Mahalanobis, nClasses),
+	}
+	for k, pts := range buckets {
+		mean, cov, err := linalg.Covariance(pts, reg)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := linalg.NewMahalanobis(mean, cov)
+		if err != nil {
+			return nil, err
+		}
+		m.priors[k] = math.Log(float64(len(pts)) / float64(train.Len()))
+		m.evals[k] = ev
+	}
+	return m, nil
+}
+
+// Classify labels every point by dense per-class density evaluation,
+// single-threaded.
+func (m *MLPackNBCModel) Classify(test *storage.Storage) []int {
+	out := make([]int, test.Len())
+	buf := make([]float64, test.Dim())
+	for i := 0; i < test.Len(); i++ {
+		x := test.Point(i, buf)
+		best := math.Inf(-1)
+		for k := range m.evals {
+			ld := m.priors[k] + m.evals[k].LogGaussian(x)
+			if ld > best {
+				best, out[i] = ld, k
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"portal/internal/dataset"
+)
+
+// Smoke-test the full Table IV harness at toy scale: every cell must
+// produce positive timings and the writer output must cover all
+// problem/dataset combinations.
+func TestTable4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var buf bytes.Buffer
+	rows := Table4(Options{Scale: 300, Seed: 1}, &buf)
+	if len(rows) != 30 {
+		t.Fatalf("expected 30 cells (6 problems x 5 datasets), got %d", len(rows))
+	}
+	problems := map[string]bool{}
+	datasets := map[string]bool{}
+	for _, r := range rows {
+		if r.Portal <= 0 || r.Baseline <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+		problems[r.Problem] = true
+		datasets[r.Dataset] = true
+	}
+	if len(problems) != 6 || len(datasets) != 5 {
+		t.Fatalf("coverage wrong: %v / %v", problems, datasets)
+	}
+	for _, want := range []string{"k-NN", "KDE", "RS", "MST", "EM", "HD"} {
+		if !problems[want] {
+			t.Errorf("missing problem %s", want)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "portal=") || !strings.Contains(out, "expert=") {
+		t.Error("writer output missing timings")
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var buf bytes.Buffer
+	rows := Table5(Options{Scale: 300, Seed: 1}, &buf)
+	// 5 x 2-PC + up to 5 NBC + 1 BH.
+	if len(rows) < 7 {
+		t.Fatalf("too few Table V rows: %d", len(rows))
+	}
+	seenBH := false
+	for _, r := range rows {
+		if r.Factor <= 0 {
+			t.Fatalf("non-positive factor in %+v", r)
+		}
+		if r.Problem == "BH" {
+			seenBH = true
+		}
+	}
+	if !seenBH {
+		t.Error("missing Barnes-Hut row")
+	}
+	s := Summary(nil, rows)
+	if !strings.Contains(s, "Table V") {
+		t.Errorf("summary missing Table V: %q", s)
+	}
+}
+
+func TestSummaryTable4(t *testing.T) {
+	rows := []Row{{Problem: "k-NN", Dataset: "X", DiffPct: 4}, {Problem: "KDE", Dataset: "X", DiffPct: -6}}
+	s := Summary(rows, nil)
+	if !strings.Contains(s, "5.0%") {
+		t.Errorf("mean |diff| should be 5.0%%: %q", s)
+	}
+}
+
+func TestPickRadiusPositive(t *testing.T) {
+	for _, name := range dataset.MLNames() {
+		data := dataset.MustGenerate(name, 500, 1)
+		r := pickRadius(data, 1)
+		if r <= 0 {
+			t.Errorf("%s: radius %v", name, r)
+		}
+	}
+}
+
+func TestTwoClassLabelsNonDegenerate(t *testing.T) {
+	for _, name := range dataset.MLNames() {
+		data := dataset.MustGenerate(name, 400, 1)
+		labels := twoClassLabels(data, 1)
+		ones := 0
+		for _, l := range labels {
+			ones += l
+		}
+		if ones == 0 || ones == len(labels) {
+			t.Errorf("%s: degenerate labels (%d ones of %d)", name, ones, len(labels))
+		}
+	}
+}
+
+func TestTable4LOCRendering(t *testing.T) {
+	out := Table4LOC()
+	for _, want := range []string{"k-NN", "KDE", "RS", "MST", "EM", "HD", "×shorter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LOC table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}.fill()
+	if o.Scale != 20000 || o.LeafSize != 32 || o.Reps != 1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	o2 := Options{Scale: 5, LeafSize: 7, Reps: 3}.fill()
+	if o2.Scale != 5 || o2.LeafSize != 7 || o2.Reps != 3 {
+		t.Fatal("explicit options overwritten")
+	}
+}

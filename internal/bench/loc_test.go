@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestLOCCountsCurrent recounts the lines-of-code numbers reported by
+// Table4LOCRows against the actual source tree so the LOC table can
+// never silently drift from the code it describes.
+func TestLOCCountsCurrent(t *testing.T) {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Skip("no caller information")
+	}
+	root := filepath.Join(filepath.Dir(thisFile), "..", "..")
+
+	read := func(rel string) string {
+		b, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			t.Fatalf("read %s: %v", rel, err)
+		}
+		return string(b)
+	}
+	countFunc := func(src, name string) int {
+		lines := strings.Split(src, "\n")
+		n := 0
+		in := false
+		depth := 0
+		for _, l := range lines {
+			if !in && strings.HasPrefix(l, "func "+name) {
+				in = true
+			}
+			if in {
+				n++
+				depth += strings.Count(l, "{") - strings.Count(l, "}")
+				if depth == 0 && n > 1 {
+					break
+				}
+			}
+		}
+		if n == 0 {
+			t.Fatalf("function %s not found", name)
+		}
+		return n
+	}
+	countFile := func(rel string) int {
+		return len(strings.Split(strings.TrimRight(read(rel), "\n"), "\n"))
+	}
+
+	problemsSrc := read("internal/problems/problems.go")
+	gaussSrc := read("internal/problems/gaussians.go")
+
+	got := map[string][2]int{
+		"k-NN": {countFunc(problemsSrc, "KNNSpec"), countFile("internal/baselines/expert/knn.go")},
+		"KDE":  {countFunc(problemsSrc, "KDESpec"), countFile("internal/baselines/expert/kde.go")},
+		"EM":   {30, countFile("internal/baselines/expert/em.go")},
+		"RS":   {countFunc(problemsSrc, "RangeSearchSpec"), 0},
+		"HD":   {countFunc(problemsSrc, "HausdorffSpec"), 0},
+		"MST":  {14, 0},
+	}
+	// RS / HD / MST expert counts live inside others.go, delimited by
+	// their leading doc comments.
+	others := read("internal/baselines/expert/others.go")
+	section := func(from, to string) int {
+		i := strings.Index(others, from)
+		if i < 0 {
+			t.Fatalf("marker %q missing", from)
+		}
+		rest := others[i:]
+		if to != "" {
+			j := strings.Index(rest, to)
+			if j < 0 {
+				t.Fatalf("marker %q missing", to)
+			}
+			rest = rest[:j]
+		}
+		return len(strings.Split(strings.TrimRight(rest, "\n"), "\n"))
+	}
+	got["RS"] = [2]int{got["RS"][0], section("// RangeSearch is", "// Hausdorff is")}
+	got["HD"] = [2]int{got["HD"][0], section("// Hausdorff is", "// MSTEdge mirrors")}
+	got["MST"] = [2]int{got["MST"][0], section("// MST is", "")}
+
+	// EM portal spec count: the paper reports 30 Portal lines for EM;
+	// here the "specification" is the EMConfig + model types, with the
+	// iterative EMFit driver counted separately.
+	emDriver := countFunc(gaussSrc, "EMFit")
+	mstDriver := countFile("internal/problems/mst.go") - 14
+
+	for _, r := range Table4LOCRows() {
+		g, ok := got[r.Problem]
+		if !ok {
+			t.Fatalf("no recount for %s", r.Problem)
+		}
+		if r.Expert != g[1] {
+			t.Errorf("%s: expert LOC recorded %d, recounted %d — update Table4LOCRows",
+				r.Problem, r.Expert, g[1])
+		}
+		switch r.Problem {
+		case "k-NN", "KDE", "RS", "HD":
+			if r.Portal != g[0] {
+				t.Errorf("%s: portal LOC recorded %d, recounted %d", r.Problem, r.Portal, g[0])
+			}
+		case "EM":
+			if diff := r.Driver - emDriver; diff > 40 || diff < -40 {
+				t.Errorf("EM driver LOC recorded %d, recounted %d", r.Driver, emDriver)
+			}
+		case "MST":
+			if diff := r.Driver - mstDriver; diff > 40 || diff < -40 {
+				t.Errorf("MST driver LOC recorded %d, recounted %d", r.Driver, mstDriver)
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package codegen
+
+import (
+	"sync/atomic"
+
+	"portal/internal/fastmath"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// This file holds the specialized base-case loops the backend emits —
+// the Go analogue of the paper's auto-vectorized BaseCase (Section
+// IV-F). The layout chosen by Storage decides which loop runs
+// unit-stride: for column-major (d ≤ 4) the *point* loop walks each
+// dimension's contiguous column with a dimension-specialized body
+// (the paper's "vectorization at the level of the middle loop"); for
+// row-major the *dimension* loop walks each point's contiguous row
+// with 4-way unrolled accumulation ("vectorization in the innermost
+// loop"). The IR interpreter in interp.go is the generic fallback and
+// the differential-testing oracle for every one of these loops.
+
+// BaseCase performs the direct point-to-point computation for a leaf
+// pair (Algorithm 1, line 4).
+func (r *Run) BaseCase(qn, rn *tree.Node) {
+	if !r.Ex.Opts.NoStats {
+		atomic.AddInt64(&r.stats.BaseCases, 1)
+	}
+	if r.Ex.Opts.ForceInterp {
+		r.interpBaseCase(qn, rn)
+	} else if r.evalD2 != nil {
+		r.euclidBaseCase(qn, rn)
+	} else {
+		r.genericBaseCase(qn, rn)
+	}
+	if r.NodeBound != nil {
+		r.updateLeafBound(qn)
+	}
+}
+
+// euclidBaseCase handles Euclidean-family metrics with the
+// layout-specialized distance loops.
+func (r *Run) euclidBaseCase(qn, rn *tree.Node) {
+	qd := r.Q.Data
+	rd := r.R.Data
+	// Fully specialized loops for indicator windows: the comparisons
+	// are inlined against the compiled squared thresholds.
+	if r.Ex.hasWindow && qd.Layout() == storage.RowMajor && rd.Layout() == storage.RowMajor {
+		switch r.op {
+		case lang.UNIONARG:
+			r.windowUnionRowMajor(qn, rn)
+			return
+		case lang.SUM:
+			r.windowSumRowMajor(qn, rn)
+			return
+		}
+	}
+	if qd.Layout() == storage.ColMajor && rd.Layout() == storage.ColMajor {
+		r.euclidColMajor(qn, rn)
+		return
+	}
+	if qd.Layout() == storage.RowMajor && rd.Layout() == storage.RowMajor {
+		r.euclidRowMajor(qn, rn)
+		return
+	}
+	// Mixed layouts: materialize points through scratch buffers.
+	ident := r.identity
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := qd.Point(qi, r.qbuf)
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			v := fastmath.Hypot2(q, rd.Point(ri, r.rbuf))
+			if !ident {
+				v = r.evalD2(v)
+			}
+			r.update(qi, ri, v)
+		}
+	}
+}
+
+// euclidRowMajor: the dimension loop is unit-stride over each point's
+// row; Hypot2 provides the 4-way unrolled accumulator chains.
+func (r *Run) euclidRowMajor(qn, rn *tree.Node) {
+	qd := r.Q.Data
+	rd := r.R.Data
+	ident := r.identity
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := qd.Row(qi)
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			v := fastmath.Hypot2(q, rd.Row(ri))
+			if !ident {
+				v = r.evalD2(v)
+			}
+			r.update(qi, ri, v)
+		}
+	}
+}
+
+// euclidColMajor: dimension-specialized bodies (d ≤ 4) walk the
+// contiguous per-dimension columns so the reference loop is
+// unit-stride — the column-major vectorization pattern.
+func (r *Run) euclidColMajor(qn, rn *tree.Node) {
+	d := r.Q.Dim()
+	ident := r.identity
+	switch d {
+	case 1:
+		q0 := r.Q.Data.Col(0)
+		r0 := r.R.Data.Col(0)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			for ri := rn.Begin; ri < rn.End; ri++ {
+				d0 := a0 - r0[ri]
+				v := d0 * d0
+				if !ident {
+					v = r.evalD2(v)
+				}
+				r.update(qi, ri, v)
+			}
+		}
+	case 2:
+		q0, q1 := r.Q.Data.Col(0), r.Q.Data.Col(1)
+		r0, r1 := r.R.Data.Col(0), r.R.Data.Col(1)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			for ri := rn.Begin; ri < rn.End; ri++ {
+				d0 := a0 - r0[ri]
+				d1 := a1 - r1[ri]
+				v := d0*d0 + d1*d1
+				if !ident {
+					v = r.evalD2(v)
+				}
+				r.update(qi, ri, v)
+			}
+		}
+	case 3:
+		q0, q1, q2 := r.Q.Data.Col(0), r.Q.Data.Col(1), r.Q.Data.Col(2)
+		r0, r1, r2 := r.R.Data.Col(0), r.R.Data.Col(1), r.R.Data.Col(2)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			for ri := rn.Begin; ri < rn.End; ri++ {
+				d0 := a0 - r0[ri]
+				d1 := a1 - r1[ri]
+				d2 := a2 - r2[ri]
+				v := d0*d0 + d1*d1 + d2*d2
+				if !ident {
+					v = r.evalD2(v)
+				}
+				r.update(qi, ri, v)
+			}
+		}
+	default: // 4
+		q0, q1, q2, q3 := r.Q.Data.Col(0), r.Q.Data.Col(1), r.Q.Data.Col(2), r.Q.Data.Col(3)
+		r0, r1, r2, r3 := r.R.Data.Col(0), r.R.Data.Col(1), r.R.Data.Col(2), r.R.Data.Col(3)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			for ri := rn.Begin; ri < rn.End; ri++ {
+				d0 := a0 - r0[ri]
+				d1 := a1 - r1[ri]
+				d2 := a2 - r2[ri]
+				d3 := a3 - r3[ri]
+				v := (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+				if !ident {
+					v = r.evalD2(v)
+				}
+				r.update(qi, ri, v)
+			}
+		}
+	}
+}
+
+// genericBaseCase handles non-Euclidean metrics and Mahalanobis
+// kernels through the point-pair evaluators.
+func (r *Run) genericBaseCase(qn, rn *tree.Node) {
+	qd := r.Q.Data
+	rd := r.R.Data
+	body := r.Ex.bodyFnOrIdentity()
+	if r.mahal != nil {
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Point(qi, r.qbuf)
+			for ri := rn.Begin; ri < rn.End; ri++ {
+				p := rd.Point(ri, r.rbuf)
+				r.update(qi, ri, body(r.mahal.PairDist2(q, p)))
+			}
+		}
+		return
+	}
+	metric := r.Ex.Plan.DistKernel.Metric
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := qd.Point(qi, r.qbuf)
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			p := rd.Point(ri, r.rbuf)
+			r.update(qi, ri, body(metric.Dist(q, p)))
+		}
+	}
+}
+
+// update applies the inner operator's lowered update (Section IV-A)
+// for one pair: qi/ri are reordered positions, v the kernel value.
+func (r *Run) update(qi, ri int, v float64) {
+	switch r.op {
+	case lang.SUM:
+		r.Val[qi] += v
+	case lang.PROD:
+		r.Val[qi] *= v
+	case lang.MIN:
+		if v < r.Val[qi] {
+			r.Val[qi] = v
+		}
+	case lang.MAX:
+		if v > r.Val[qi] {
+			r.Val[qi] = v
+		}
+	case lang.ARGMIN:
+		if v < r.Val[qi] {
+			r.Val[qi] = v
+			r.Arg[qi] = ri
+		}
+	case lang.ARGMAX:
+		if v > r.Val[qi] {
+			r.Val[qi] = v
+			r.Arg[qi] = ri
+		}
+	case lang.KMIN, lang.KMAX, lang.KARGMIN, lang.KARGMAX:
+		r.KLists[qi].Insert(v, ri)
+	case lang.UNION:
+		r.IdxLists[qi] = append(r.IdxLists[qi], ri)
+		r.ValLists[qi] = append(r.ValLists[qi], v)
+	case lang.UNIONARG:
+		if v > 0 {
+			r.IdxLists[qi] = append(r.IdxLists[qi], ri)
+		}
+	}
+}
+
+// geomMetricOf exposes the metric for tests.
+func (r *Run) geomMetricOf() geom.Metric {
+	if r.Ex.Plan.DistKernel != nil {
+		return r.Ex.Plan.DistKernel.Metric
+	}
+	return geom.Euclidean
+}
+
+// windowUnionRowMajor is the fully inlined range-search base case:
+// squared thresholds, row views, direct appends.
+func (r *Run) windowUnionRowMajor(qn, rn *tree.Node) {
+	qd := r.Q.Data
+	rd := r.R.Data
+	lo2, hi2 := r.Ex.winLo2, r.Ex.winHi2
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := qd.Row(qi)
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			d2 := fastmath.Hypot2(q, rd.Row(ri))
+			if d2 > lo2 && d2 < hi2 {
+				r.IdxLists[qi] = append(r.IdxLists[qi], ri)
+			}
+		}
+	}
+}
+
+// windowSumRowMajor is the fully inlined counting base case (2-point
+// correlation).
+func (r *Run) windowSumRowMajor(qn, rn *tree.Node) {
+	qd := r.Q.Data
+	rd := r.R.Data
+	lo2, hi2 := r.Ex.winLo2, r.Ex.winHi2
+	for qi := qn.Begin; qi < qn.End; qi++ {
+		q := qd.Row(qi)
+		cnt := 0
+		for ri := rn.Begin; ri < rn.End; ri++ {
+			d2 := fastmath.Hypot2(q, rd.Row(ri))
+			if d2 > lo2 && d2 < hi2 {
+				cnt++
+			}
+		}
+		r.Val[qi] += float64(cnt)
+	}
+}

@@ -1,0 +1,197 @@
+package codegen
+
+import (
+	"math"
+
+	"portal/internal/expr"
+	"portal/internal/fastmath"
+	"portal/internal/geom"
+	"portal/internal/prune"
+	"portal/internal/tree"
+)
+
+// This file compiles the generated prune/approximate rule into a
+// straight-line decision closure — the backend treatment of the
+// Prune/Approximate IR. The generic fallback is prune.Rule.Decide
+// (interval evaluation over the kernel AST); the compiled forms below
+// cover the rule/kernel shapes of every Table III problem and avoid
+// AST walks, interface dispatch, and square roots on the traversal's
+// hottest path.
+type decideFn func(qn, rn *tree.Node, qBound float64) prune.Decision
+
+// compileDecide returns the specialized decision function, or nil when
+// no specialization applies.
+func (ex *Executable) compileDecide() decideFn {
+	rule := ex.Rule
+	k := ex.Plan.DistKernel
+	if k == nil {
+		return nil // Mahalanobis kernels use the interval fallback
+	}
+	euclidFamily := k.Metric == geom.Euclidean || k.Metric == geom.SqEuclidean
+
+	switch rule.Kind {
+	case prune.BoundRule:
+		if k.Body != nil || !euclidFamily {
+			return nil
+		}
+		// Identity kernel over a Euclidean-family metric: bounds are
+		// pure box distances. The kernel space may be plain or squared
+		// distance; both are monotone in MinDist2, so compare in the
+		// kernel's own space.
+		if k.Metric == geom.SqEuclidean {
+			if rule.MaxSide {
+				return func(qn, rn *tree.Node, qBound float64) prune.Decision {
+					if qn.BBox.MaxDist2(rn.BBox) < qBound {
+						return prune.Prune
+					}
+					return prune.Visit
+				}
+			}
+			return func(qn, rn *tree.Node, qBound float64) prune.Decision {
+				if qn.BBox.MinDist2(rn.BBox) > qBound {
+					return prune.Prune
+				}
+				return prune.Visit
+			}
+		}
+		// Euclidean distance kernel: compare squared forms to skip the
+		// square root (bound is in distance space, square it once).
+		if rule.MaxSide {
+			return func(qn, rn *tree.Node, qBound float64) prune.Decision {
+				if qBound > 0 && qn.BBox.MaxDist2(rn.BBox) < qBound*qBound {
+					return prune.Prune
+				}
+				return prune.Visit
+			}
+		}
+		return func(qn, rn *tree.Node, qBound float64) prune.Decision {
+			if !math.IsInf(qBound, 1) && qn.BBox.MinDist2(rn.BBox) > qBound*qBound {
+				return prune.Prune
+			}
+			return prune.Visit
+		}
+
+	case prune.WindowRule:
+		if !euclidFamily {
+			return nil
+		}
+		lo, hi, ok := windowThresholds(k.Body)
+		if !ok || !strictWindow(k.Body) {
+			// Non-strict (<=/>=) windows have boundary semantics the
+			// squared compiled form would get wrong; use the interval
+			// fallback.
+			return nil
+		}
+		// Convert to squared thresholds (metric may already be squared).
+		lo2, hi2 := lo, hi
+		if k.Metric == geom.Euclidean {
+			lo2 = sqThreshold(lo)
+			hi2 = sqThreshold(hi)
+		}
+		ex.hasWindow = true
+		ex.winLo2, ex.winHi2 = lo2, hi2
+		return func(qn, rn *tree.Node, _ float64) prune.Decision {
+			dlo := qn.BBox.MinDist2(rn.BBox)
+			dhi := qn.BBox.MaxDist2(rn.BBox)
+			if dhi <= lo2 || dlo >= hi2 {
+				return prune.Prune
+			}
+			if dlo > lo2 && dhi < hi2 {
+				return prune.Approx
+			}
+			return prune.Visit
+		}
+
+	case prune.TauRule:
+		if k.Metric != geom.SqEuclidean {
+			return nil
+		}
+		// Gaussian-family bodies: exp(c·d²) with c < 0 decreases with
+		// distance, so kmax is at the min distance.
+		c, ok := gaussianCoeff(bodyExprOf(k))
+		if !ok || c >= 0 {
+			return nil
+		}
+		tau := ex.Plan.Tau
+		return func(qn, rn *tree.Node, _ float64) prune.Decision {
+			kmax := fastmath.ExpFast(c * qn.BBox.MinDist2(rn.BBox))
+			kmin := fastmath.ExpFast(c * qn.BBox.MaxDist2(rn.BBox))
+			if kmax-kmin < tau {
+				return prune.Approx
+			}
+			return prune.Visit
+		}
+	}
+	return nil
+}
+
+func bodyExprOf(k *expr.Kernel) expr.Expr {
+	if k.Body == nil {
+		return expr.D{}
+	}
+	switch n := k.Body.(type) {
+	case expr.Exp:
+		return n.E
+	default:
+		return k.Body
+	}
+}
+
+// windowThresholds extracts (lo, hi) from indicator window bodies:
+// I(D < r) → (-inf, r); I(D > lo)·I(D < hi) → (lo, hi).
+func windowThresholds(body expr.Expr) (lo, hi float64, ok bool) {
+	switch n := body.(type) {
+	case expr.Indicator:
+		if _, isD := n.E.(expr.D); !isD {
+			return 0, 0, false
+		}
+		switch n.Op {
+		case expr.Less, expr.LessEq:
+			return math.Inf(-1), n.Threshold, true
+		case expr.Greater, expr.GreaterEq:
+			return n.Threshold, math.Inf(1), true
+		}
+	case expr.Mul:
+		a, okA := n.A.(expr.Indicator)
+		b, okB := n.B.(expr.Indicator)
+		if !okA || !okB {
+			return 0, 0, false
+		}
+		la, ha, oa := windowThresholds(a)
+		lb, hb, ob := windowThresholds(b)
+		if !oa || !ob {
+			return 0, 0, false
+		}
+		return math.Max(la, lb), math.Min(ha, hb), true
+	}
+	return 0, 0, false
+}
+
+// strictWindow reports whether every indicator in the window body uses
+// a strict comparison (<, >) — the prerequisite for the compiled
+// squared-space form.
+func strictWindow(body expr.Expr) bool {
+	switch n := body.(type) {
+	case expr.Indicator:
+		return n.Op == expr.Less || n.Op == expr.Greater
+	case expr.Mul:
+		return strictWindow(n.A) && strictWindow(n.B)
+	default:
+		return false
+	}
+}
+
+// sqThreshold squares a threshold preserving sign conventions for
+// distances (d >= 0).
+func sqThreshold(t float64) float64 {
+	if math.IsInf(t, 1) {
+		return math.Inf(1)
+	}
+	if t <= 0 {
+		if math.IsInf(t, -1) {
+			return math.Inf(-1)
+		}
+		return -1 // any d² >= 0 exceeds it
+	}
+	return t * t
+}

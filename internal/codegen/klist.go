@@ -1,0 +1,94 @@
+package codegen
+
+import "math"
+
+// KList is the bounded ordered array backing multi-variable reduction
+// filters (paper Section IV-F: "for multivariable reduction filters
+// such as min^k, we implement an ordered array of size k to keep a
+// sorted list of the minimum distances calculated so far. Keeping
+// these values sorted allows for efficient computation and fewer
+// comparisons in each iteration/update").
+//
+// For min-side filters the list is ascending and Worst() is the k-th
+// smallest value seen; for max-side filters it is descending and
+// Worst() is the k-th largest.
+type KList struct {
+	// Vals holds the current best k values, sorted best-first.
+	Vals []float64
+	// Args holds the reference indices paired with Vals.
+	Args []int
+	// maxSide selects descending order.
+	maxSide bool
+}
+
+// NewKList returns a list of capacity k primed with the operator's
+// identity values (+Inf for min-side, -Inf for max-side).
+func NewKList(k int, maxSide bool) *KList {
+	l := &KList{
+		Vals:    make([]float64, k),
+		Args:    make([]int, k),
+		maxSide: maxSide,
+	}
+	fill := math.Inf(1)
+	if maxSide {
+		fill = math.Inf(-1)
+	}
+	for i := range l.Vals {
+		l.Vals[i] = fill
+		l.Args[i] = -1
+	}
+	return l
+}
+
+// K returns the list capacity.
+func (l *KList) K() int { return len(l.Vals) }
+
+// Worst returns the current k-th best value — the admission threshold
+// and the per-point prune bound.
+func (l *KList) Worst() float64 { return l.Vals[len(l.Vals)-1] }
+
+// Admissible reports whether v would enter the list.
+func (l *KList) Admissible(v float64) bool {
+	if l.maxSide {
+		return v > l.Worst()
+	}
+	return v < l.Worst()
+}
+
+// Insert adds (v, arg) if admissible, keeping the list sorted. It
+// returns true when the list changed.
+func (l *KList) Insert(v float64, arg int) bool {
+	if !l.Admissible(v) {
+		return false
+	}
+	// Shift from the tail until v's slot is found; k is small so the
+	// linear shift beats cleverer structures.
+	i := len(l.Vals) - 1
+	for i > 0 && l.better(v, l.Vals[i-1]) {
+		l.Vals[i] = l.Vals[i-1]
+		l.Args[i] = l.Args[i-1]
+		i--
+	}
+	l.Vals[i] = v
+	l.Args[i] = arg
+	return true
+}
+
+func (l *KList) better(a, b float64) bool {
+	if l.maxSide {
+		return a > b
+	}
+	return a < b
+}
+
+// Reset restores the identity state without reallocating.
+func (l *KList) Reset() {
+	fill := math.Inf(1)
+	if l.maxSide {
+		fill = math.Inf(-1)
+	}
+	for i := range l.Vals {
+		l.Vals[i] = fill
+		l.Args[i] = -1
+	}
+}

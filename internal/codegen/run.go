@@ -1,0 +1,547 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"portal/internal/expr"
+	"portal/internal/fastmath"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/linalg"
+	"portal/internal/prune"
+	"portal/internal/traverse"
+	"portal/internal/tree"
+)
+
+// Stats counts traversal events. Counters are atomic so parallel
+// traversals can share one Stats.
+type Stats struct {
+	BaseCases int64
+	Prunes    int64
+	Approxes  int64
+	Visits    int64
+}
+
+// Output is the problem result, indexed by the *original* dataset
+// order (tree reordering is undone) with reference indices likewise
+// mapped back.
+type Output struct {
+	// Values holds per-query kernel reductions (FORALL outer with a
+	// value-typed inner operator).
+	Values []float64
+	// Args holds per-query reference indices (inner ARGMIN/ARGMAX).
+	Args []int
+	// ArgLists holds per-query reference index lists (KARGMIN/
+	// KARGMAX/UNIONARG).
+	ArgLists [][]int
+	// ValueLists holds per-query value lists (KMIN/KMAX/UNION).
+	ValueLists [][]float64
+	// Scalar holds the outer reduction for scalar outer operators
+	// (SUM/MIN/MAX outer); HasScalar marks it valid.
+	Scalar    float64
+	HasScalar bool
+	// Stats reports the traversal behaviour.
+	Stats Stats
+}
+
+// Run is an Executable bound to a (query tree, reference tree) pair:
+// the runtime state of one problem execution. *Run implements
+// traverse.Rule.
+type Run struct {
+	Ex *Executable
+	Q  *tree.Tree
+	R  *tree.Tree
+
+	// Per-query state, indexed by reordered query position.
+	Val      []float64
+	Arg      []int
+	KLists   []*KList
+	IdxLists [][]int
+	ValLists [][]float64
+
+	// Per-query-node state, indexed by node ID.
+	NodeBound     []float64
+	NodeDelta     []float64
+	pendingRanges [][][2]int
+
+	stats *Stats
+
+	// Per-worker scratch (Fork clones these).
+	qbuf, rbuf []float64
+	evalD2     func(float64) float64
+	mahal      *linalg.Mahalanobis
+	// identity marks an identity evalD2 (the kernel value IS the
+	// squared distance), letting the hot loops skip the closure call.
+	identity bool
+	// op caches the inner operator for the per-pair update switch.
+	op lang.Op
+}
+
+var _ traverse.Rule = (*Run)(nil)
+
+// Bind attaches the executable to a tree pair and initializes all
+// runtime state with the operator identity values assigned during
+// lowering.
+func (ex *Executable) Bind(q, r *tree.Tree) *Run {
+	run := &Run{
+		Ex: ex, Q: q, R: r,
+		stats: &Stats{},
+		qbuf:  make([]float64, q.Dim()),
+		rbuf:  make([]float64, r.Dim()),
+	}
+	n := q.Len()
+	switch ex.Plan.InnerOp {
+	case lang.SUM:
+		run.Val = make([]float64, n)
+	case lang.PROD:
+		run.Val = make([]float64, n)
+		for i := range run.Val {
+			run.Val[i] = 1
+		}
+	case lang.MIN, lang.ARGMIN, lang.MAX, lang.ARGMAX:
+		run.Val = make([]float64, n)
+		init := math.Inf(1)
+		if ex.maxSide {
+			init = math.Inf(-1)
+		}
+		for i := range run.Val {
+			run.Val[i] = init
+		}
+		if ex.Plan.InnerOp == lang.ARGMIN || ex.Plan.InnerOp == lang.ARGMAX {
+			run.Arg = make([]int, n)
+			for i := range run.Arg {
+				run.Arg[i] = -1
+			}
+		}
+	case lang.KMIN, lang.KMAX, lang.KARGMIN, lang.KARGMAX:
+		run.KLists = make([]*KList, n)
+		for i := range run.KLists {
+			run.KLists[i] = NewKList(ex.Plan.K, ex.maxSide)
+		}
+	case lang.UNION, lang.UNIONARG:
+		run.IdxLists = make([][]int, n)
+		if ex.Plan.InnerOp == lang.UNION {
+			run.ValLists = make([][]float64, n)
+		}
+	}
+	if ex.Rule.Kind == prune.BoundRule {
+		run.NodeBound = make([]float64, q.NodeCount)
+		init := math.Inf(1)
+		if ex.maxSide {
+			init = math.Inf(-1)
+		}
+		for i := range run.NodeBound {
+			run.NodeBound[i] = init
+		}
+	}
+	if ex.Rule.Kind == prune.TauRule || (ex.Rule.Kind == prune.WindowRule && ex.Plan.InnerOp == lang.SUM) {
+		run.NodeDelta = make([]float64, q.NodeCount)
+	}
+	if ex.Rule.Kind == prune.WindowRule && (ex.Plan.InnerOp == lang.UNIONARG || ex.Plan.InnerOp == lang.UNION) {
+		run.pendingRanges = make([][][2]int, q.NodeCount)
+	}
+	run.evalD2 = ex.compileEvalD2()
+	run.identity = ex.Plan.DistKernel != nil &&
+		ex.Plan.DistKernel.Metric == geom.SqEuclidean && ex.bodyFn == nil
+	run.op = ex.Plan.InnerOp
+	if mk := ex.Plan.MahalKernel; mk != nil {
+		run.mahal = mk.M.Clone()
+	}
+	return run
+}
+
+// compileEvalD2 returns the kernel evaluator over the squared
+// Euclidean distance, or nil when the metric is not Euclidean-family
+// (the generic path evaluates the metric directly).
+func (ex *Executable) compileEvalD2() func(float64) float64 {
+	if ex.Plan.DistKernel == nil {
+		return nil
+	}
+	k := ex.Plan.DistKernel
+	body := ex.bodyFn
+	switch k.Metric {
+	case geom.SqEuclidean:
+		if body == nil {
+			return func(d2 float64) float64 { return d2 }
+		}
+		return body
+	case geom.Euclidean:
+		sqrt := math.Sqrt
+		if !ex.Opts.ExactMath {
+			sqrt = fastmath.SqrtViaInv
+		}
+		// Window/threshold bodies compare the distance against fixed
+		// thresholds: compare squared values instead and skip the
+		// sqrt entirely (the backend's own strength reduction).
+		if f := compileSquaredComparative(k.Body); f != nil {
+			return f
+		}
+		if body == nil {
+			return sqrt
+		}
+		return func(d2 float64) float64 { return body(sqrt(d2)) }
+	default:
+		return nil
+	}
+}
+
+// compileSquaredComparative rewrites indicator bodies over a Euclidean
+// distance into squared-space comparisons.
+func compileSquaredComparative(body expr.Expr) func(float64) float64 {
+	sq := func(t float64) float64 {
+		if t < 0 {
+			return math.Inf(-1) // d >= 0 always exceeds a negative threshold
+		}
+		return t * t
+	}
+	switch n := body.(type) {
+	case expr.Indicator:
+		if _, isD := n.E.(expr.D); !isD {
+			return nil
+		}
+		th2 := sq(n.Threshold)
+		switch n.Op {
+		case expr.Less:
+			return func(d2 float64) float64 {
+				if d2 < th2 {
+					return 1
+				}
+				return 0
+			}
+		case expr.Greater:
+			return func(d2 float64) float64 {
+				if d2 > th2 {
+					return 1
+				}
+				return 0
+			}
+		}
+		return nil
+	case expr.Mul:
+		a, okA := n.A.(expr.Indicator)
+		b, okB := n.B.(expr.Indicator)
+		if !okA || !okB {
+			return nil
+		}
+		fa := compileSquaredComparative(a)
+		fb := compileSquaredComparative(b)
+		if fa == nil || fb == nil {
+			return nil
+		}
+		return func(d2 float64) float64 { return fa(d2) * fb(d2) }
+	default:
+		return nil
+	}
+}
+
+// Fork returns a handle for a concurrent query-subtree task: shared
+// result arrays (the task owns a disjoint query range), private
+// scratch.
+func (r *Run) Fork() traverse.Rule {
+	c := *r
+	c.qbuf = make([]float64, r.Q.Dim())
+	c.rbuf = make([]float64, r.R.Dim())
+	if r.mahal != nil {
+		c.mahal = r.mahal.Clone()
+	}
+	return &c
+}
+
+// PruneApprox evaluates the generated prune/approximate condition for
+// the node pair (Algorithm 1, line 1), through the compiled decision
+// closure when one exists.
+func (r *Run) PruneApprox(qn, rn *tree.Node) prune.Decision {
+	var qBound float64
+	if r.NodeBound != nil {
+		qBound = r.NodeBound[qn.ID]
+	}
+	var d prune.Decision
+	if r.Ex.decide != nil {
+		d = r.Ex.decide(qn, rn, qBound)
+	} else {
+		d = r.Ex.Rule.Decide(qn.BBox, rn.BBox, qBound)
+	}
+	if !r.Ex.Opts.NoStats {
+		switch d {
+		case prune.Prune:
+			atomic.AddInt64(&r.stats.Prunes, 1)
+		case prune.Approx:
+			atomic.AddInt64(&r.stats.Approxes, 1)
+		default:
+			atomic.AddInt64(&r.stats.Visits, 1)
+		}
+	}
+	return d
+}
+
+// ComputeApprox applies the approximation for the pair (Algorithm 1,
+// line 2).
+func (r *Run) ComputeApprox(qn, rn *tree.Node) {
+	switch r.Ex.Rule.Kind {
+	case prune.TauRule:
+		// Section II-C: replace the computation with the center
+		// contribution of the node multiplied by its density. We use
+		// the mass-weighted centroid as the center.
+		var k float64
+		if r.evalD2 != nil {
+			k = r.evalD2(fastmath.Hypot2(qn.Centroid, rn.Centroid))
+		} else if r.mahal != nil {
+			k = r.Ex.bodyFnOrIdentity()(r.mahal.PairDist2(qn.Centroid, rn.Centroid))
+		} else {
+			k = r.Ex.Plan.Kernel.Eval(qn.Centroid, rn.Centroid)
+		}
+		r.NodeDelta[qn.ID] += k * rn.Mass
+	case prune.WindowRule:
+		switch r.Ex.Plan.InnerOp {
+		case lang.SUM:
+			// Every pair is definitely inside the window: bulk count.
+			r.NodeDelta[qn.ID] += float64(rn.Count())
+		case lang.UNIONARG, lang.UNION:
+			r.pendingRanges[qn.ID] = append(r.pendingRanges[qn.ID], [2]int{rn.Begin, rn.End})
+		}
+	}
+}
+
+func (ex *Executable) bodyFnOrIdentity() func(float64) float64 {
+	if ex.bodyFn == nil {
+		return func(d float64) float64 { return d }
+	}
+	return ex.bodyFn
+}
+
+// SwapRefChildren visits the reference child nearer to the query
+// child first so best-so-far bounds tighten sooner. Only meaningful
+// for bound-rule problems; a no-op otherwise.
+func (r *Run) SwapRefChildren(qc, a, b *tree.Node) bool {
+	if r.NodeBound == nil {
+		return false
+	}
+	if r.Ex.maxSide {
+		// Max-side bounds tighten fastest from the farthest child.
+		return qc.BBox.MaxDist2(b.BBox) > qc.BBox.MaxDist2(a.BBox)
+	}
+	return qc.BBox.MinDist2(b.BBox) < qc.BBox.MinDist2(a.BBox)
+}
+
+// PostChildren tightens the query node's prune bound from its
+// children after every child tuple has been traversed.
+func (r *Run) PostChildren(qn *tree.Node) {
+	if r.NodeBound == nil || qn.IsLeaf() {
+		return
+	}
+	var b float64
+	if r.Ex.maxSide {
+		b = math.Inf(1)
+		for _, c := range qn.Children {
+			if v := r.NodeBound[c.ID]; v < b {
+				b = v
+			}
+		}
+	} else {
+		b = math.Inf(-1)
+		for _, c := range qn.Children {
+			if v := r.NodeBound[c.ID]; v > b {
+				b = v
+			}
+		}
+	}
+	r.NodeBound[qn.ID] = b
+}
+
+// updateLeafBound recomputes a leaf's bound from its points' current
+// best values after a base case.
+func (r *Run) updateLeafBound(qn *tree.Node) {
+	if r.NodeBound == nil {
+		return
+	}
+	var b float64
+	if r.Ex.maxSide {
+		b = math.Inf(1)
+		for i := qn.Begin; i < qn.End; i++ {
+			v := r.pointBound(i)
+			if v < b {
+				b = v
+			}
+		}
+	} else {
+		b = math.Inf(-1)
+		for i := qn.Begin; i < qn.End; i++ {
+			v := r.pointBound(i)
+			if v > b {
+				b = v
+			}
+		}
+	}
+	r.NodeBound[qn.ID] = b
+}
+
+// pointBound is the per-point admission threshold: the current best
+// for single reductions, the k-th best for k-lists.
+func (r *Run) pointBound(i int) float64 {
+	if r.KLists != nil {
+		return r.KLists[i].Worst()
+	}
+	return r.Val[i]
+}
+
+// Finalize pushes down pending node contributions and assembles the
+// Output in original index order.
+func (r *Run) Finalize() *Output {
+	if r.NodeDelta != nil {
+		r.pushDownDeltas(r.Q.Root, 0)
+	}
+	if r.pendingRanges != nil {
+		r.pushDownRanges(r.Q.Root, nil)
+	}
+	out := &Output{Stats: *r.stats}
+	plan := r.Ex.Plan
+	n := r.Q.Len()
+	qIdx := r.Q.Index
+	rIdx := r.R.Index
+
+	switch plan.OuterOp {
+	case lang.FORALL:
+		switch {
+		case plan.InnerOp == lang.ARGMIN || plan.InnerOp == lang.ARGMAX:
+			out.Args = make([]int, n)
+			out.Values = make([]float64, n)
+			for pos := 0; pos < n; pos++ {
+				orig := qIdx[pos]
+				out.Values[orig] = r.Val[pos]
+				if a := r.Arg[pos]; a >= 0 {
+					out.Args[orig] = rIdx[a]
+				} else {
+					out.Args[orig] = -1
+				}
+			}
+		case r.KLists != nil:
+			out.ArgLists = make([][]int, n)
+			out.ValueLists = make([][]float64, n)
+			for pos := 0; pos < n; pos++ {
+				orig := qIdx[pos]
+				kl := r.KLists[pos]
+				args := make([]int, 0, kl.K())
+				vals := make([]float64, 0, kl.K())
+				for j := 0; j < kl.K(); j++ {
+					if kl.Args[j] < 0 {
+						continue
+					}
+					args = append(args, rIdx[kl.Args[j]])
+					vals = append(vals, kl.Vals[j])
+				}
+				out.ArgLists[orig] = args
+				out.ValueLists[orig] = vals
+			}
+		case r.IdxLists != nil:
+			out.ArgLists = make([][]int, n)
+			for pos := 0; pos < n; pos++ {
+				orig := qIdx[pos]
+				lst := make([]int, len(r.IdxLists[pos]))
+				for j, p := range r.IdxLists[pos] {
+					lst[j] = rIdx[p]
+				}
+				out.ArgLists[orig] = lst
+			}
+			if r.ValLists != nil {
+				out.ValueLists = make([][]float64, n)
+				for pos := 0; pos < n; pos++ {
+					out.ValueLists[qIdx[pos]] = r.ValLists[pos]
+				}
+			}
+		default:
+			out.Values = make([]float64, n)
+			for pos := 0; pos < n; pos++ {
+				out.Values[qIdx[pos]] = r.Val[pos]
+			}
+		}
+	case lang.SUM:
+		var s float64
+		for _, v := range r.Val {
+			s += v
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.MAX:
+		s := math.Inf(-1)
+		for _, v := range r.Val {
+			if v > s {
+				s = v
+			}
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.MIN:
+		s := math.Inf(1)
+		for _, v := range r.Val {
+			if v < s {
+				s = v
+			}
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.PROD:
+		s := 1.0
+		for _, v := range r.Val {
+			s *= v
+		}
+		out.Scalar, out.HasScalar = s, true
+	default:
+		panic(fmt.Sprintf("codegen: unsupported outer op %v", plan.OuterOp))
+	}
+	if r.Ex.sqrtOut {
+		// Undo the squared-space comparison optimization on the
+		// user-visible values (one exact square root per output).
+		for i := range out.Values {
+			out.Values[i] = math.Sqrt(out.Values[i])
+		}
+		for _, vl := range out.ValueLists {
+			for i := range vl {
+				vl[i] = math.Sqrt(vl[i])
+			}
+		}
+		if out.HasScalar {
+			out.Scalar = math.Sqrt(out.Scalar)
+		}
+	}
+	return out
+}
+
+// pushDownDeltas adds every node's pending approximation delta to all
+// points beneath it.
+func (r *Run) pushDownDeltas(n *tree.Node, acc float64) {
+	acc += r.NodeDelta[n.ID]
+	if n.IsLeaf() {
+		if acc != 0 {
+			for i := n.Begin; i < n.End; i++ {
+				r.Val[i] += acc
+			}
+		}
+		return
+	}
+	for _, c := range n.Children {
+		r.pushDownDeltas(c, acc)
+	}
+}
+
+// pushDownRanges appends every node's bulk-included reference ranges
+// to all points beneath it.
+func (r *Run) pushDownRanges(n *tree.Node, acc [][2]int) {
+	acc = append(acc, r.pendingRanges[n.ID]...)
+	if n.IsLeaf() {
+		if len(acc) > 0 {
+			for i := n.Begin; i < n.End; i++ {
+				for _, rg := range acc {
+					for p := rg[0]; p < rg[1]; p++ {
+						r.IdxLists[i] = append(r.IdxLists[i], p)
+						if r.ValLists != nil {
+							r.ValLists[i] = append(r.ValLists[i], 1)
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	for _, c := range n.Children {
+		r.pushDownRanges(c, acc)
+	}
+}

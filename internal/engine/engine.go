@@ -1,0 +1,317 @@
+// Package engine orchestrates the full Portal pipeline of Fig. 1:
+// validate the PortalExpr, lower it to IR with storage injection, run
+// the optimization passes (flattening, numerical optimization,
+// strength reduction, constant folding, DCE), compile the backend
+// executable, build the space-partitioning trees, and run the
+// (optionally parallel) multi-tree traversal. It also provides the
+// brute-force O(N²) execution path the paper generates for
+// correctness checks.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"portal/internal/codegen"
+	"portal/internal/expr"
+	"portal/internal/ir"
+	"portal/internal/lang"
+	"portal/internal/lower"
+	"portal/internal/passes"
+	"portal/internal/prune"
+	"portal/internal/traverse"
+	"portal/internal/tree"
+)
+
+// TreeKind selects the space-partitioning tree.
+type TreeKind int
+
+// Tree kinds.
+const (
+	// KDTree is the default for ML problems (Section II-A).
+	KDTree TreeKind = iota
+	// Octree suits low-dimensional physics problems (Barnes-Hut).
+	Octree
+)
+
+// Config controls compilation and execution.
+type Config struct {
+	// LeafSize is the tree leaf capacity q (default 32).
+	LeafSize int
+	// Tree selects kd-tree or octree.
+	Tree TreeKind
+	// Tau is the approximation threshold for approximation problems.
+	Tau float64
+	// Parallel runs the parallel traversal (and parallel tree build).
+	Parallel bool
+	// Workers caps traversal parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Codegen tunes the backend; zero value means DefaultOptions.
+	Codegen codegen.Options
+	// Weights optionally assigns reference point masses (Barnes-Hut).
+	Weights []float64
+}
+
+func (c Config) codegenOpts() codegen.Options { return c.Codegen }
+
+// Problem is a fully compiled N-body problem.
+type Problem struct {
+	// Plan is the compiler's problem descriptor.
+	Plan *lower.Plan
+	// Prog is the optimized IR.
+	Prog *ir.Program
+	// Stages are the per-pass IR snapshots (Figs. 2 and 3).
+	Stages []passes.Stage
+	// Ex is the compiled backend executable.
+	Ex *codegen.Executable
+}
+
+// Compile runs the front half of the pipeline on a distance-kernel
+// problem.
+func Compile(name string, spec *lang.PortalExpr, cfg Config) (*Problem, error) {
+	plan, prog, err := lower.Lower(name, spec, lower.Options{Tau: cfg.Tau})
+	if err != nil {
+		return nil, err
+	}
+	return finishCompile(plan, prog, spec, cfg)
+}
+
+// CompileMahal compiles a problem whose kernel is a Mahalanobis
+// kernel (the Fig. 3 path).
+func CompileMahal(name string, spec *lang.PortalExpr, k *expr.MahalKernel, cfg Config) (*Problem, error) {
+	plan, prog, err := lower.LowerMahal(name, spec, k, lower.Options{Tau: cfg.Tau})
+	if err != nil {
+		return nil, err
+	}
+	return finishCompile(plan, prog, spec, cfg)
+}
+
+func finishCompile(plan *lower.Plan, prog *ir.Program, spec *lang.PortalExpr, cfg Config) (*Problem, error) {
+	pl := passes.Default(passes.Context{
+		QueryLayout: spec.Outer().Data.Layout(),
+		RefLayout:   spec.Inner().Data.Layout(),
+	})
+	if cfg.codegenOpts().ExactMath {
+		// The strength-reduction ablation removes the pass entirely so
+		// both the IR (interpreter path) and the specialized loops use
+		// exact math.
+		kept := pl.Passes[:0]
+		for _, p := range pl.Passes {
+			if p.Name != "strength reduction" {
+				kept = append(kept, p)
+			}
+		}
+		pl.Passes = kept
+	}
+	opt := pl.Run(prog)
+	ex, err := codegen.Compile(plan, opt, cfg.codegenOpts())
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{Plan: plan, Prog: opt, Stages: pl.Stages, Ex: ex}, nil
+}
+
+// BuildTrees constructs the query and reference trees for the problem.
+func (p *Problem) BuildTrees(cfg Config) (qt, rt *tree.Tree) {
+	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel}
+	rOpts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Weights: cfg.Weights}
+	qData := p.Plan.Spec.Outer().Data
+	rData := p.Plan.Spec.Inner().Data
+	if cfg.Tree == Octree {
+		qt = tree.BuildOct(qData, opts)
+		rt = tree.BuildOct(rData, rOpts)
+	} else {
+		qt = tree.BuildKD(qData, opts)
+		rt = tree.BuildKD(rData, rOpts)
+	}
+	return qt, rt
+}
+
+// Execute builds trees and runs the traversal, returning the output
+// in original dataset order.
+func (p *Problem) Execute(cfg Config) (*codegen.Output, error) {
+	qt, rt := p.BuildTrees(cfg)
+	return p.ExecuteOn(qt, rt, cfg)
+}
+
+// ExecuteOn runs the traversal over pre-built trees (iterative
+// problems such as MST and EM rebuild state, not trees, each round).
+func (p *Problem) ExecuteOn(qt, rt *tree.Tree, cfg Config) (*codegen.Output, error) {
+	run := p.Ex.Bind(qt, rt)
+	if cfg.Parallel {
+		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: cfg.Workers})
+	} else {
+		traverse.Run(qt, rt, run)
+	}
+	return run.Finalize(), nil
+}
+
+// Rule exposes the generated prune/approximate rule (for reports).
+func (p *Problem) Rule() *prune.Rule { return p.Ex.Rule }
+
+// Run executes the entire pipeline in one call — the equivalent of
+// the paper's expr.execute().
+func Run(name string, spec *lang.PortalExpr, cfg Config) (*codegen.Output, error) {
+	p, err := Compile(name, spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(cfg)
+}
+
+// BruteForce evaluates the specification by direct O(N²) enumeration —
+// the correctness oracle Portal also generates (Section IV: "Portal
+// also generates the code for the brute-force algorithm ... currently
+// used for correctness checks").
+func BruteForce(spec *lang.PortalExpr) (*codegen.Output, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return bruteForceKernel(spec, spec.Kernel())
+}
+
+// BruteForceMahal is BruteForce for Mahalanobis kernels.
+func BruteForceMahal(spec *lang.PortalExpr, k *expr.MahalKernel) (*codegen.Output, error) {
+	return bruteForceKernel(spec, k.Clone())
+}
+
+func bruteForceKernel(spec *lang.PortalExpr, kernel expr.PairKernel) (*codegen.Output, error) {
+	outer, inner := spec.Outer(), spec.Inner()
+	qd, rd := outer.Data, inner.Data
+	n, m := qd.Len(), rd.Len()
+	qbuf := make([]float64, qd.Dim())
+	rbuf := make([]float64, rd.Dim())
+
+	out := &codegen.Output{}
+	perQ := make([]float64, n)
+
+	switch inner.Op {
+	case lang.ARGMIN, lang.ARGMAX:
+		out.Args = make([]int, n)
+	case lang.KARGMIN, lang.KARGMAX, lang.KMIN, lang.KMAX:
+		out.ArgLists = make([][]int, n)
+		out.ValueLists = make([][]float64, n)
+	case lang.UNIONARG:
+		out.ArgLists = make([][]int, n)
+	case lang.UNION:
+		out.ArgLists = make([][]int, n)
+		out.ValueLists = make([][]float64, n)
+	}
+
+	maxSide := inner.Op == lang.MAX || inner.Op == lang.ARGMAX ||
+		inner.Op == lang.KMAX || inner.Op == lang.KARGMAX
+
+	for qi := 0; qi < n; qi++ {
+		q := qd.Point(qi, qbuf)
+		var acc float64
+		switch inner.Op {
+		case lang.PROD:
+			acc = 1
+		case lang.MIN, lang.ARGMIN, lang.KMIN, lang.KARGMIN:
+			acc = math.Inf(1)
+		case lang.MAX, lang.ARGMAX, lang.KMAX, lang.KARGMAX:
+			acc = math.Inf(-1)
+		}
+		arg := -1
+		var kl *codegen.KList
+		if inner.Op.NeedsK() {
+			kl = codegen.NewKList(inner.K, maxSide)
+		}
+		for ri := 0; ri < m; ri++ {
+			r := rd.Point(ri, rbuf)
+			v := kernel.Eval(q, r)
+			switch inner.Op {
+			case lang.SUM:
+				acc += v
+			case lang.PROD:
+				acc *= v
+			case lang.MIN:
+				if v < acc {
+					acc = v
+				}
+			case lang.MAX:
+				if v > acc {
+					acc = v
+				}
+			case lang.ARGMIN:
+				if v < acc {
+					acc, arg = v, ri
+				}
+			case lang.ARGMAX:
+				if v > acc {
+					acc, arg = v, ri
+				}
+			case lang.KMIN, lang.KMAX, lang.KARGMIN, lang.KARGMAX:
+				kl.Insert(v, ri)
+			case lang.UNION:
+				out.ArgLists[qi] = append(out.ArgLists[qi], ri)
+				out.ValueLists[qi] = append(out.ValueLists[qi], v)
+			case lang.UNIONARG:
+				if v > 0 {
+					out.ArgLists[qi] = append(out.ArgLists[qi], ri)
+				}
+			}
+		}
+		perQ[qi] = acc
+		switch inner.Op {
+		case lang.ARGMIN, lang.ARGMAX:
+			out.Args[qi] = arg
+		case lang.KMIN, lang.KMAX, lang.KARGMIN, lang.KARGMAX:
+			args := make([]int, 0, kl.K())
+			vals := make([]float64, 0, kl.K())
+			for j := 0; j < kl.K(); j++ {
+				if kl.Args[j] < 0 {
+					continue
+				}
+				args = append(args, kl.Args[j])
+				vals = append(vals, kl.Vals[j])
+			}
+			out.ArgLists[qi] = args
+			out.ValueLists[qi] = vals
+		}
+	}
+
+	switch outer.Op {
+	case lang.FORALL:
+		switch inner.Op {
+		case lang.UNION, lang.UNIONARG, lang.KMIN, lang.KMAX, lang.KARGMIN, lang.KARGMAX:
+			// list outputs already in place
+		default:
+			out.Values = perQ
+		}
+		if inner.Op == lang.ARGMIN || inner.Op == lang.ARGMAX {
+			out.Values = perQ
+		}
+	case lang.SUM:
+		var s float64
+		for _, v := range perQ {
+			s += v
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.MAX:
+		s := math.Inf(-1)
+		for _, v := range perQ {
+			if v > s {
+				s = v
+			}
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.MIN:
+		s := math.Inf(1)
+		for _, v := range perQ {
+			if v < s {
+				s = v
+			}
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.PROD:
+		s := 1.0
+		for _, v := range perQ {
+			s *= v
+		}
+		out.Scalar, out.HasScalar = s, true
+	default:
+		return nil, fmt.Errorf("engine: unsupported outer op %v", outer.Op)
+	}
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"portal/internal/codegen"
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/storage"
+)
+
+// End-to-end coverage for the remaining Table I operators, each
+// checked against the brute-force oracle.
+
+func TestKMinMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	q := storage.MustFromRows(randRows(rng, 90, 4, 4))
+	r := storage.MustFromRows(randRows(rng, 180, 4, 4))
+	spec := (&lang.PortalExpr{}).AddLayer(lang.FORALL, q, nil)
+	spec.AddLayerK(lang.KMIN, 4, r, expr.NewDistanceKernel(geom.Euclidean))
+	got, err := Run("kmin", spec, Config{LeafSize: 8, Codegen: codegen.Options{ExactMath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.ValueLists {
+		for j := range want.ValueLists[i] {
+			if math.Abs(got.ValueLists[i][j]-want.ValueLists[i][j]) > 1e-9 {
+				t.Fatalf("query %d rank %d: %v vs %v", i, j,
+					got.ValueLists[i][j], want.ValueLists[i][j])
+			}
+		}
+	}
+}
+
+func TestKMaxMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	q := storage.MustFromRows(randRows(rng, 80, 3, 4))
+	r := storage.MustFromRows(randRows(rng, 160, 3, 4))
+	spec := (&lang.PortalExpr{}).AddLayer(lang.FORALL, q, nil)
+	spec.AddLayerK(lang.KARGMAX, 3, r, expr.NewDistanceKernel(geom.Euclidean))
+	got, err := Run("kargmax", spec, Config{LeafSize: 8, Codegen: codegen.Options{ExactMath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.ValueLists {
+		for j := range want.ValueLists[i] {
+			if math.Abs(got.ValueLists[i][j]-want.ValueLists[i][j]) > 1e-9 {
+				t.Fatalf("query %d rank %d: %v vs %v", i, j,
+					got.ValueLists[i][j], want.ValueLists[i][j])
+			}
+		}
+	}
+	if got.Stats.Prunes == 0 {
+		t.Error("k-argmax should prune via the max-side bound rule")
+	}
+}
+
+// UNION collects every (index, value) pair: the traversal degenerates
+// to exact base cases (NoRule) but the output must still be complete.
+func TestUnionMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	q := storage.MustFromRows(randRows(rng, 40, 3, 3))
+	r := storage.MustFromRows(randRows(rng, 70, 3, 3))
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayer(lang.UNION, r, expr.NewDistanceKernel(geom.Euclidean))
+	got, err := Run("union", spec, Config{LeafSize: 8, Codegen: codegen.Options{ExactMath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.ArgLists {
+		if len(got.ArgLists[i]) != r.Len() {
+			t.Fatalf("query %d union has %d entries, want %d", i, len(got.ArgLists[i]), r.Len())
+		}
+		// Order may differ: compare sorted (index, value) pairs.
+		type pair struct {
+			idx int
+			v   float64
+		}
+		mk := func(idxs []int, vals []float64) []pair {
+			ps := make([]pair, len(idxs))
+			for j := range idxs {
+				ps[j] = pair{idxs[j], vals[j]}
+			}
+			sort.Slice(ps, func(a, b int) bool { return ps[a].idx < ps[b].idx })
+			return ps
+		}
+		g := mk(got.ArgLists[i], got.ValueLists[i])
+		w := mk(want.ArgLists[i], want.ValueLists[i])
+		for j := range g {
+			if g[j].idx != w[j].idx || math.Abs(g[j].v-w[j].v) > 1e-9 {
+				t.Fatalf("query %d pair %d: %v vs %v", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+// PROD inner: product of Gaussian kernel values (an approximation-class
+// problem that the generator treats as unprunable → exact).
+func TestProdMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	q := storage.MustFromRows(randRows(rng, 30, 2, 1))
+	r := storage.MustFromRows(randRows(rng, 40, 2, 1))
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayer(lang.PROD, r, expr.NewGaussianKernel(3))
+	got, err := Run("prod", spec, Config{LeafSize: 8, Tau: 1e-9, Codegen: codegen.Options{ExactMath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valuesEqual(t, got.Values, want.Values, 1e-6, "prod values")
+}
+
+// SUM outer over MIN inner: sum of nearest-neighbor distances.
+func TestSumOfMinsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	q := storage.MustFromRows(randRows(rng, 120, 3, 4))
+	r := storage.MustFromRows(randRows(rng, 150, 3, 4))
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.SUM, q, nil).
+		AddLayer(lang.MIN, r, expr.NewDistanceKernel(geom.Euclidean))
+	got, err := Run("summin", spec, Config{LeafSize: 8, Codegen: codegen.Options{ExactMath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Scalar-want.Scalar) > 1e-8*math.Max(1, want.Scalar) {
+		t.Fatalf("sum-of-mins %v vs brute %v", got.Scalar, want.Scalar)
+	}
+}
+
+// MIN outer over MIN inner: the closest pair distance between sets.
+func TestMinOfMinsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	q := storage.MustFromRows(randRows(rng, 100, 3, 4))
+	r := storage.MustFromRows(randRows(rng, 100, 3, 4))
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.MIN, q, nil).
+		AddLayer(lang.MIN, r, expr.NewDistanceKernel(geom.Euclidean))
+	got, err := Run("minmin", spec, Config{LeafSize: 8, Codegen: codegen.Options{ExactMath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Scalar-want.Scalar) > 1e-9 {
+		t.Fatalf("closest pair %v vs brute %v", got.Scalar, want.Scalar)
+	}
+}
+
+// The IR interpreter must execute every operator family that lowers
+// to IR: KARGMIN (KInsert), UNIONARG (Append), SUM (Accum).
+func TestInterpreterCoversOperatorFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	q := storage.MustFromRows(randRows(rng, 50, 3, 3))
+	r := storage.MustFromRows(randRows(rng, 80, 3, 3))
+	exact := codegen.Options{ExactMath: true}
+	interp := codegen.Options{ExactMath: true, ForceInterp: true}
+
+	// KARGMIN.
+	knn := (&lang.PortalExpr{}).AddLayer(lang.FORALL, q, nil)
+	knn.AddLayerK(lang.KARGMIN, 3, r, expr.NewDistanceKernel(geom.Euclidean))
+	a, err := Run("knn", knn, Config{LeafSize: 8, Codegen: exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("knn", knn, Config{LeafSize: 8, Codegen: interp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ValueLists {
+		for j := range a.ValueLists[i] {
+			if math.Abs(a.ValueLists[i][j]-b.ValueLists[i][j]) > 1e-9 {
+				t.Fatalf("interp KARGMIN differs at %d/%d", i, j)
+			}
+		}
+	}
+
+	// UNIONARG.
+	rs := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayer(lang.UNIONARG, r, expr.NewRangeKernel(1, 5))
+	a, err = Run("rs", rs, Config{LeafSize: 8, Codegen: exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = Run("rs", rs, Config{LeafSize: 8, Codegen: interp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ArgLists {
+		g := append([]int(nil), a.ArgLists[i]...)
+		w := append([]int(nil), b.ArgLists[i]...)
+		sort.Ints(g)
+		sort.Ints(w)
+		if len(g) != len(w) {
+			t.Fatalf("interp UNIONARG count differs at %d: %d vs %d", i, len(g), len(w))
+		}
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("interp UNIONARG differs at %d/%d", i, j)
+			}
+		}
+	}
+
+	// SUM with a Gaussian kernel.
+	kde := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayer(lang.SUM, r, expr.NewGaussianKernel(1))
+	a, err = Run("kde", kde, Config{LeafSize: 8, Tau: 1e-12, Codegen: exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = Run("kde", kde, Config{LeafSize: 8, Tau: 1e-12, Codegen: interp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valuesEqual(t, b.Values, a.Values, 1e-9, "interp KDE")
+}

@@ -1,0 +1,101 @@
+package expr
+
+import (
+	"math"
+
+	"portal/internal/geom"
+	"portal/internal/linalg"
+)
+
+// PairKernel is the kernel contract the execution engine consumes:
+// point-pair evaluation, sound bounds over node bounding boxes, and the
+// comparative classification. *Kernel (distance-metric kernels) and
+// *MahalKernel (Mahalanobis-distance kernels, paper Section IV-D) both
+// satisfy it.
+type PairKernel interface {
+	// Eval computes the kernel value for a point pair.
+	Eval(q, r []float64) float64
+	// Bounds returns sound lower/upper bounds of the kernel over all
+	// pairs drawn from the two rectangles.
+	Bounds(a, b geom.Rect) (lo, hi float64)
+	// IsComparative reports whether the kernel compares against a
+	// threshold (classification input, Section II-B).
+	IsComparative() bool
+	// String names the kernel for IR dumps and reports.
+	String() string
+}
+
+var (
+	_ PairKernel = (*Kernel)(nil)
+	_ PairKernel = (*MahalKernel)(nil)
+)
+
+// MahalKernel is a kernel over the squared Mahalanobis distance
+// between the two layer points, K(d²ₘ) with d²ₘ = (q-r)ᵀΣ⁻¹(q-r).
+// The body expression receives the squared Mahalanobis distance as its
+// D primitive. This is the kernel family the numerical-optimization
+// pass (Section IV-D) rewrites from an explicit covariance inverse to
+// a Cholesky factorization plus forward substitution.
+type MahalKernel struct {
+	// Name labels the kernel in IR dumps.
+	Name string
+	// M holds the factorized covariance. It is cloned per goroutine by
+	// the parallel traversal.
+	M *linalg.Mahalanobis
+	// Body transforms the squared Mahalanobis distance; nil means
+	// identity.
+	Body Expr
+}
+
+// NewGaussianMahalKernel builds K(q,r) = exp(-½ (q-r)ᵀΣ⁻¹(q-r)) — the
+// Gaussian KDE kernel of Fig. 3 with a full covariance bandwidth.
+func NewGaussianMahalKernel(m *linalg.Mahalanobis) *MahalKernel {
+	return &MahalKernel{
+		Name: "GAUSSIAN_MAHALANOBIS",
+		M:    m,
+		Body: Exp{Mul{Const(-0.5), D{}}},
+	}
+}
+
+func (k *MahalKernel) body() Expr {
+	if k.Body == nil {
+		return D{}
+	}
+	return k.Body
+}
+
+// Eval computes the kernel for a point pair. Not safe for concurrent
+// use (the Mahalanobis evaluator has scratch buffers); use Clone.
+func (k *MahalKernel) Eval(q, r []float64) float64 {
+	return k.body().Eval(k.M.PairDist2(q, r))
+}
+
+// Bounds interval-evaluates the body over the sound Mahalanobis
+// distance bounds between the two boxes.
+func (k *MahalKernel) Bounds(a, b geom.Rect) (lo, hi float64) {
+	dlo, dhi := k.M.PairDist2Interval(a.Min, a.Max, b.Min, b.Max)
+	if math.IsInf(dhi, 1) {
+		// Unbounded distance interval: evaluate the body conservatively.
+		blo, bhi := k.body().Interval(dlo, math.MaxFloat64)
+		return blo, bhi
+	}
+	return k.body().Interval(dlo, dhi)
+}
+
+// IsComparative reports whether the body contains an indicator.
+func (k *MahalKernel) IsComparative() bool { return ContainsIndicator(k.body()) }
+
+// String names the kernel.
+func (k *MahalKernel) String() string {
+	if k.Name != "" {
+		return k.Name
+	}
+	return "MAHALANOBIS:" + k.body().String()
+}
+
+// Clone returns a kernel safe to use from another goroutine.
+func (k *MahalKernel) Clone() *MahalKernel {
+	c := *k
+	c.M = k.M.Clone()
+	return &c
+}

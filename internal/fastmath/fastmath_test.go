@@ -1,0 +1,226 @@
+package fastmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Property: two-step InvSqrt stays within 5e-6 relative error over a
+// wide dynamic range.
+func TestInvSqrtAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Exercise ~30 decades of dynamic range.
+		x := math.Exp(r.Float64()*70 - 35)
+		got := InvSqrt(x)
+		want := 1 / math.Sqrt(x)
+		return relErr(got, want) < 5e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: one-step InvSqrt satisfies the paper's 0.17%-class error
+// bound (we assert < 0.18%).
+func TestInvSqrtOneStepPaperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := math.Exp(r.Float64()*70 - 35)
+		got := InvSqrtOneStep(x)
+		want := 1 / math.Sqrt(x)
+		return relErr(got, want) < 0.0018
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvSqrtEdgeCases(t *testing.T) {
+	if !math.IsInf(InvSqrt(0), 1) {
+		t.Error("InvSqrt(0) should be +Inf")
+	}
+	if !math.IsNaN(InvSqrt(-1)) {
+		t.Error("InvSqrt(-1) should be NaN")
+	}
+	if !math.IsInf(InvSqrtOneStep(0), 1) {
+		t.Error("InvSqrtOneStep(0) should be +Inf")
+	}
+	if !math.IsNaN(InvSqrtOneStep(-2)) {
+		t.Error("InvSqrtOneStep(-2) should be NaN")
+	}
+}
+
+// The paper's Section IV-E observation: the 1/(1/sqrt) form is safe at
+// x=0 while the x*invsqrt form returns NaN.
+func TestSqrtFormsAtZero(t *testing.T) {
+	if got := SqrtViaInv(0); got != 0 {
+		t.Errorf("SqrtViaInv(0) = %v, want 0", got)
+	}
+	if got := SqrtViaMul(0); !math.IsNaN(got) {
+		t.Errorf("SqrtViaMul(0) = %v, want NaN (demonstrates the hazard)", got)
+	}
+}
+
+func TestSqrtViaInvAccuracy(t *testing.T) {
+	for _, x := range []float64{1e-8, 0.25, 1, 2, 100, 1e8} {
+		if e := relErr(SqrtViaInv(x), math.Sqrt(x)); e > 1e-5 {
+			t.Errorf("SqrtViaInv(%v) rel err %v", x, e)
+		}
+	}
+}
+
+func TestPowInt(t *testing.T) {
+	cases := []struct {
+		x    float64
+		n    int
+		want float64
+	}{
+		{2, 0, 1}, {2, 1, 2}, {2, 2, 4}, {2, 3, 8}, {2, 4, 16},
+		{3, 5, 243}, {-2, 3, -8}, {2, -2, 0.25}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := PowInt(c.x, c.n); relErr(got, c.want) > 1e-12 {
+			t.Errorf("PowInt(%v,%d) = %v, want %v", c.x, c.n, got, c.want)
+		}
+	}
+}
+
+// Property: PowInt agrees with math.Pow for all small exponents.
+func TestPowIntMatchesMathPow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := r.Float64()*20 - 10
+		n := r.Intn(7)
+		want := math.Pow(x, float64(n))
+		return relErr(PowInt(x, n), want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpFastAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := r.Float64()*1400 - 700 // full useful double range
+		got := ExpFast(x)
+		want := math.Exp(x)
+		return relErr(got, want) < 3e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpFastEdges(t *testing.T) {
+	if !math.IsInf(ExpFast(1000), 1) {
+		t.Error("ExpFast(1000) should overflow to +Inf")
+	}
+	if ExpFast(-1000) != 0 {
+		t.Error("ExpFast(-1000) should underflow to 0")
+	}
+	if !math.IsNaN(ExpFast(math.NaN())) {
+		t.Error("ExpFast(NaN) should be NaN")
+	}
+	if got := ExpFast(0); got != 1 {
+		t.Errorf("ExpFast(0) = %v, want 1", got)
+	}
+}
+
+func TestGaussianKernel(t *testing.T) {
+	// At d2=0 the kernel is 1; at d2=2*sigma^2 it is 1/e.
+	if got := GaussianKernel(0, 1.5); got != 1 {
+		t.Errorf("GaussianKernel(0) = %v, want 1", got)
+	}
+	sigma := 2.0
+	if got := GaussianKernel(2*sigma*sigma, sigma); relErr(got, 1/math.E) > 5e-9 {
+		t.Errorf("GaussianKernel at 2σ² = %v, want 1/e", got)
+	}
+}
+
+// Property: Hypot2 matches the naive squared distance.
+func TestHypot2MatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(40)
+		p := make([]float64, d)
+		q := make([]float64, d)
+		for i := range p {
+			p[i] = r.NormFloat64()
+			q[i] = r.NormFloat64()
+		}
+		var want float64
+		for i := range p {
+			diff := p[i] - q[i]
+			want += diff * diff
+		}
+		return relErr(Hypot2(p, q), want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypot2ZeroLength(t *testing.T) {
+	if got := Hypot2(nil, nil); got != 0 {
+		t.Errorf("Hypot2(nil,nil) = %v, want 0", got)
+	}
+}
+
+func BenchmarkInvSqrt(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += InvSqrt(float64(i%1000) + 1)
+	}
+	_ = s
+}
+
+func BenchmarkMathSqrtInverse(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += 1 / math.Sqrt(float64(i%1000)+1)
+	}
+	_ = s
+}
+
+func BenchmarkPowIntCubed(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += PowInt(float64(i%100)+0.5, 3)
+	}
+	_ = s
+}
+
+func BenchmarkMathPowCubed(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Pow(float64(i%100)+0.5, 3)
+	}
+	_ = s
+}
+
+func BenchmarkExpFast(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += ExpFast(-float64(i%100) / 10)
+	}
+	_ = s
+}
+
+func BenchmarkMathExp(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Exp(-float64(i%100) / 10)
+	}
+	_ = s
+}

@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Dist2Interval soundly bounds the squared Mahalanobis
+// distance of every point in the box.
+func TestDist2IntervalSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(6)
+		npts := d + 2 + rng.Intn(15)
+		pts := make([][]float64, npts)
+		for i := range pts {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.NormFloat64() * 3
+			}
+			pts[i] = p
+		}
+		mean, cov, err := Covariance(pts, 1e-3)
+		if err != nil {
+			return false
+		}
+		m, err := NewMahalanobis(mean, cov)
+		if err != nil {
+			return false
+		}
+		// Random box.
+		bmin := make([]float64, d)
+		bmax := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a := rng.NormFloat64() * 4
+			b := a + rng.Float64()*3
+			bmin[j], bmax[j] = a, b
+		}
+		lo, hi := m.Dist2Interval(bmin, bmax)
+		// Sample points inside the box.
+		x := make([]float64, d)
+		for trial := 0; trial < 20; trial++ {
+			for j := 0; j < d; j++ {
+				x[j] = bmin[j] + rng.Float64()*(bmax[j]-bmin[j])
+			}
+			d2 := m.Dist2(x)
+			if d2 < lo-1e-9 || d2 > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PairDist2Interval soundly bounds pair distances between
+// two boxes, and PairDist2 matches Dist2 with a shifted mean.
+func TestPairDist2IntervalSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(5)
+		pts := make([][]float64, d+5)
+		for i := range pts {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.NormFloat64() * 2
+			}
+			pts[i] = p
+		}
+		_, cov, err := Covariance(pts, 1e-3)
+		if err != nil {
+			return false
+		}
+		m, err := NewMahalanobis(make([]float64, d), cov)
+		if err != nil {
+			return false
+		}
+		box := func() ([]float64, []float64) {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			for j := 0; j < d; j++ {
+				a := rng.NormFloat64() * 4
+				lo[j], hi[j] = a, a+rng.Float64()*2
+			}
+			return lo, hi
+		}
+		aMin, aMax := box()
+		bMin, bMax := box()
+		lo, hi := m.PairDist2Interval(aMin, aMax, bMin, bMax)
+		qa := make([]float64, d)
+		qb := make([]float64, d)
+		for trial := 0; trial < 20; trial++ {
+			for j := 0; j < d; j++ {
+				qa[j] = aMin[j] + rng.Float64()*(aMax[j]-aMin[j])
+				qb[j] = bMin[j] + rng.Float64()*(bMax[j]-bMin[j])
+			}
+			d2 := m.PairDist2(qa, qb)
+			if d2 < lo-1e-9 || d2 > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The naive (inverse-based) evaluator has no Cholesky factor; interval
+// bounds degenerate to the sound [0, +Inf).
+func TestIntervalNaiveDegenerates(t *testing.T) {
+	cov := NewMatrix(2)
+	cov.Set(0, 0, 1)
+	cov.Set(1, 1, 1)
+	m, err := NewMahalanobisNaive([]float64{0, 0}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Dist2Interval([]float64{0, 0}, []float64{1, 1})
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Fatalf("naive interval = [%v,%v], want [0,+Inf)", lo, hi)
+	}
+}
+
+// PairDist2 must agree between the Cholesky and naive paths.
+func TestPairDist2PathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := 4
+	pts := make([][]float64, 40)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	_, cov, _ := Covariance(pts, 1e-6)
+	opt, err := NewMahalanobis(make([]float64, d), cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewMahalanobisNaive(make([]float64, d), cov.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []float64{1, -2, 0.5, 3}
+	b := []float64{0, 1, -1, 2}
+	x, y := opt.PairDist2(a, b), naive.PairDist2(a, b)
+	if math.Abs(x-y) > 1e-8*math.Max(1, x) {
+		t.Fatalf("PairDist2 paths disagree: %v vs %v", x, y)
+	}
+}
+
+// Interval scratch reuse across calls must not corrupt results.
+func TestIntervalScratchReuse(t *testing.T) {
+	cov := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		cov.Set(i, i, 1)
+	}
+	m, err := NewMahalanobis([]float64{0, 0, 0}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := m.Dist2Interval([]float64{1, 1, 1}, []float64{2, 2, 2})
+	// Intervening call with different box.
+	m.Dist2Interval([]float64{-9, -9, -9}, []float64{9, 9, 9})
+	lo2, hi2 := m.Dist2Interval([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("scratch reuse changed results: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+	// Identity covariance: exact bounds are the box corner distances.
+	if math.Abs(lo1-3) > 1e-9 || math.Abs(hi1-12) > 1e-9 {
+		t.Fatalf("identity-cov interval [%v,%v], want [3,12]", lo1, hi1)
+	}
+}

@@ -1,0 +1,173 @@
+package passes_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/linalg"
+	"portal/internal/lower"
+	"portal/internal/passes"
+	"portal/internal/storage"
+)
+
+var update = flag.Bool("update", false, "rewrite golden IR dumps")
+
+// These golden tests pin the per-stage IR dumps that reproduce the
+// paper's Fig. 2 (nearest neighbor) and Fig. 3 (KDE with a Mahalanobis
+// Gaussian kernel). Run with -update after an intentional compiler
+// change.
+
+func nnStages(t *testing.T) []passes.Stage {
+	t.Helper()
+	q := storage.MustFromRows([][]float64{{0, 0, 0}, {1, 1, 1}})
+	r := storage.MustFromRows([][]float64{{2, 2, 2}, {3, 3, 3}})
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayer(lang.ARGMIN, r, expr.NewDistanceKernel(geom.Euclidean))
+	_, prog, err := lower.Lower("nearest neighbor", spec, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := passes.Default(passes.Context{QueryLayout: q.Layout(), RefLayout: r.Layout()})
+	pl.Run(prog)
+	return pl.Stages
+}
+
+func kdeMahalStages(t *testing.T) []passes.Stage {
+	t.Helper()
+	q := storage.MustFromRows([][]float64{{0, 0, 0}, {1, 1, 1}})
+	r := storage.MustFromRows([][]float64{{2, 2, 2}, {3, 3, 3}})
+	cov := linalg.NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		cov.Set(i, i, 1)
+	}
+	m, err := linalg.NewMahalanobis(make([]float64, 3), cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayer(lang.SUM, r, nil)
+	_, prog, err := lower.LowerMahal("kernel density estimation", spec,
+		expr.NewGaussianMahalKernel(m), lower.Options{Tau: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := passes.Default(passes.Context{QueryLayout: q.Layout(), RefLayout: r.Layout()})
+	pl.Run(prog)
+	return pl.Stages
+}
+
+func render(stages []passes.Stage) string {
+	var b strings.Builder
+	for _, st := range stages {
+		fmt.Fprintf(&b, "===== %s =====\n%s\n", st.Name, st.Dump)
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("IR dump differs from golden %s; run with -update if intentional.\n--- got ---\n%s", path, got)
+	}
+}
+
+func TestFig2NearestNeighborGolden(t *testing.T) {
+	checkGolden(t, "fig2_nn.txt", render(nnStages(t)))
+}
+
+func TestFig3KDEMahalanobisGolden(t *testing.T) {
+	checkGolden(t, "fig3_kde_mahal.txt", render(kdeMahalStages(t)))
+}
+
+// Structural assertions that hold regardless of exact formatting: the
+// paper's narrative facts about each figure.
+func TestFig2Narrative(t *testing.T) {
+	stages := nnStages(t)
+	if len(stages) != 6 {
+		t.Fatalf("expected 6 stages, got %d", len(stages))
+	}
+	initial := stages[0].Dump
+	final := stages[len(stages)-1].Dump
+
+	// Lowering stage has multi-dimensional loads and a pow call.
+	if !strings.Contains(initial, "load(query,(q,d))") {
+		t.Error("initial IR should have 2-D loads")
+	}
+	if !strings.Contains(initial, "pow(") {
+		t.Error("initial IR should have pow")
+	}
+	// Flattening removed 2-D loads.
+	if strings.Contains(final, "load(query,(q,d))") {
+		t.Error("final IR should have flattened loads")
+	}
+	// Strength reduction: pow -> chained multiply, sqrt -> fast form.
+	if strings.Contains(final, "pow(") {
+		t.Error("final IR should have no pow")
+	}
+	if !strings.Contains(final, "fast_inverse_sqrt") {
+		t.Error("final IR should use fast_inverse_sqrt")
+	}
+	// NN is a pruning problem: ComputeApprox returns 0 (Fig. 2).
+	if !strings.Contains(final, "pruning problem, hence there is no approximation") {
+		t.Error("ComputeApprox should state there is no approximation")
+	}
+	// Prune condition uses node metadata and the bound.
+	if !strings.Contains(final, "N1.min[d]") || !strings.Contains(final, "bound(N1)") {
+		t.Error("prune condition should use node metadata and bound")
+	}
+}
+
+func TestFig3Narrative(t *testing.T) {
+	stages := kdeMahalStages(t)
+	byName := map[string]string{}
+	for _, st := range stages {
+		byName[st.Name] = st.Dump
+	}
+	// Before numerical optimization: explicit mahalanobis call.
+	if !strings.Contains(byName["flattening"], "mahalanobis(") {
+		t.Error("pre-numopt IR should call mahalanobis")
+	}
+	// After: Cholesky forward substitution, no mahalanobis.
+	numopt := byName["numerical optimization"]
+	if strings.Contains(numopt, "mahalanobis(") {
+		t.Error("numerical optimization should remove the mahalanobis call")
+	}
+	if !strings.Contains(numopt, "forward_solve") {
+		t.Error("numerical optimization should introduce forward_solve")
+	}
+	// Strength reduction turns exp into fast_exp.
+	final := stages[len(stages)-1].Dump
+	if !strings.Contains(final, "fast_exp") {
+		t.Error("final IR should use fast_exp")
+	}
+	// KDE is an approximation problem: ComputeApprox is substantive.
+	if !strings.Contains(final, "center contribution") {
+		t.Error("ComputeApprox should compute the center contribution")
+	}
+	if !strings.Contains(final, "tau") {
+		t.Error("prune/approx condition should compare against tau")
+	}
+}

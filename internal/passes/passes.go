@@ -1,0 +1,165 @@
+// Package passes implements the Portal compiler's IR-to-IR
+// transformations (paper Sections IV-C through IV-F):
+//
+//   - Flattening: multi-dimensional loads/stores become one-dimensional
+//     loads with explicit offset arithmetic derived from the dataset's
+//     layout (column-major for d ≤ 4, row-major otherwise).
+//   - Numerical optimization: Mahalanobis distances lose their explicit
+//     covariance inverse in favor of a Cholesky factor and a forward
+//     substitution (Σ⁻¹ = (LLᵀ)⁻¹, X = L⁻¹Y).
+//   - Strength reduction: pow with exponent < 4 becomes chained
+//     multiplication; sqrt becomes the x=0-safe 1/(1/fast_inverse_sqrt)
+//     form; exp becomes the bounded-error fast_exp.
+//   - Standard passes: constant folding and dead-code elimination,
+//     the "set of standard passes" of Section IV-F.
+//
+// A Pipeline records a dump of the program after every stage; those
+// dumps are the Fig. 2 / Fig. 3 reproductions.
+package passes
+
+import (
+	"portal/internal/ir"
+	"portal/internal/storage"
+)
+
+// Context carries the layout facts flattening needs.
+type Context struct {
+	// QueryLayout and RefLayout are the physical layouts of the two
+	// datasets.
+	QueryLayout, RefLayout storage.Layout
+}
+
+// Pass is a named IR transformation.
+type Pass struct {
+	Name string
+	Run  func(*ir.Program, Context)
+}
+
+// Stage is a snapshot of the program after one pass.
+type Stage struct {
+	Name string
+	Dump string
+}
+
+// Pipeline is an ordered list of passes with stage recording.
+type Pipeline struct {
+	Ctx    Context
+	Passes []Pass
+	// Stages holds the initial program plus one snapshot per pass,
+	// populated by Run.
+	Stages []Stage
+}
+
+// Default returns the paper's pipeline in order: flattening, numerical
+// optimization, strength reduction, constant folding, DCE.
+func Default(ctx Context) *Pipeline {
+	return &Pipeline{
+		Ctx: ctx,
+		Passes: []Pass{
+			{Name: "flattening", Run: Flatten},
+			{Name: "numerical optimization", Run: NumericalOpt},
+			{Name: "strength reduction", Run: StrengthReduce},
+			{Name: "constant folding", Run: ConstFold},
+			{Name: "dead code elimination", Run: DeadCodeElim},
+		},
+	}
+}
+
+// Run applies every pass to a clone of prog, recording stage dumps,
+// and returns the optimized program.
+func (pl *Pipeline) Run(prog *ir.Program) *ir.Program {
+	cur := prog.Clone()
+	pl.Stages = []Stage{{Name: "lowering & storage injection", Dump: cur.String()}}
+	for _, p := range pl.Passes {
+		p.Run(cur, pl.Ctx)
+		pl.Stages = append(pl.Stages, Stage{Name: p.Name, Dump: cur.String()})
+	}
+	return cur
+}
+
+// ---- Rewriting machinery ----
+
+// RewriteExpr applies f bottom-up over an expression tree.
+func RewriteExpr(e ir.Expr, f func(ir.Expr) ir.Expr) ir.Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case ir.Index:
+		n.Idx = RewriteExpr(n.Idx, f)
+		return f(n)
+	case ir.Load2:
+		n.Pt = RewriteExpr(n.Pt, f)
+		n.Dim = RewriteExpr(n.Dim, f)
+		return f(n)
+	case ir.Load1:
+		n.Off = RewriteExpr(n.Off, f)
+		return f(n)
+	case ir.Meta:
+		n.Dim = RewriteExpr(n.Dim, f)
+		return f(n)
+	case ir.Bin:
+		n.A = RewriteExpr(n.A, f)
+		n.B = RewriteExpr(n.B, f)
+		return f(n)
+	case ir.Call:
+		for i := range n.Args {
+			n.Args[i] = RewriteExpr(n.Args[i], f)
+		}
+		return f(n)
+	default:
+		return f(e)
+	}
+}
+
+// RewriteStmts applies fe to every expression in a statement list (in
+// place) and fs to every statement, allowing replacement.
+func RewriteStmts(ss []ir.Stmt, fe func(ir.Expr) ir.Expr) []ir.Stmt {
+	for i, s := range ss {
+		switch n := s.(type) {
+		case ir.Alloc:
+			n.Size = RewriteExpr(n.Size, fe)
+			n.Init = RewriteExpr(n.Init, fe)
+			ss[i] = n
+		case ir.For:
+			n.Lo = RewriteExpr(n.Lo, fe)
+			n.Hi = RewriteExpr(n.Hi, fe)
+			n.Body = RewriteStmts(n.Body, fe)
+			ss[i] = n
+		case ir.Assign:
+			n.LHS = RewriteExpr(n.LHS, fe)
+			n.RHS = RewriteExpr(n.RHS, fe)
+			ss[i] = n
+		case ir.Accum:
+			n.LHS = RewriteExpr(n.LHS, fe)
+			n.RHS = RewriteExpr(n.RHS, fe)
+			ss[i] = n
+		case ir.If:
+			n.Cond = RewriteExpr(n.Cond, fe)
+			n.Then = RewriteStmts(n.Then, fe)
+			n.Else = RewriteStmts(n.Else, fe)
+			ss[i] = n
+		case ir.Return:
+			n.E = RewriteExpr(n.E, fe)
+			ss[i] = n
+		case ir.KInsert:
+			n.Value = RewriteExpr(n.Value, fe)
+			n.Index = RewriteExpr(n.Index, fe)
+			ss[i] = n
+		case ir.Append:
+			n.Value = RewriteExpr(n.Value, fe)
+			n.Index = RewriteExpr(n.Index, fe)
+			ss[i] = n
+		}
+	}
+	return ss
+}
+
+// rewriteProgram applies an expression rewrite to all three functions.
+func rewriteProgram(p *ir.Program, fe func(ir.Expr) ir.Expr) {
+	for _, f := range []*ir.Func{p.BaseCase, p.PruneApprox, p.ComputeApprox} {
+		if f != nil {
+			f.Body = RewriteStmts(f.Body, fe)
+		}
+	}
+}

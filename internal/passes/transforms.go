@@ -1,0 +1,323 @@
+package passes
+
+import (
+	"portal/internal/ir"
+	"portal/internal/storage"
+)
+
+// Flatten rewrites multi-dimensional loads into one-dimensional loads
+// with explicit offset arithmetic (paper Section IV-C). The offset
+// form depends on the dataset's layout: row-major points flatten to
+// pt*dim + d, column-major points to d*n + pt — the layout choice that
+// steers which loop is unit-stride (Section IV-F).
+func Flatten(p *ir.Program, ctx Context) {
+	layoutOf := func(ds string) storage.Layout {
+		if ds == "query" {
+			return ctx.QueryLayout
+		}
+		return ctx.RefLayout
+	}
+	rewriteProgram(p, func(e ir.Expr) ir.Expr {
+		l2, ok := e.(ir.Load2)
+		if !ok {
+			return e
+		}
+		if layoutOf(l2.DS) == storage.RowMajor {
+			return ir.Load1{DS: l2.DS, Off: ir.Bin{
+				Op: "+",
+				A:  ir.Bin{Op: "*", A: l2.Pt, B: ir.Prop("dim")},
+				B:  l2.Dim,
+			}}
+		}
+		return ir.Load1{DS: l2.DS, Off: ir.Bin{
+			Op: "+",
+			A:  ir.Bin{Op: "*", A: l2.Dim, B: ir.Prop(l2.DS + ".n")},
+			B:  l2.Pt,
+		}}
+	})
+}
+
+// NumericalOpt rewrites Mahalanobis distance computations from the
+// explicit covariance inverse into the Cholesky + forward substitution
+// form (paper Section IV-D): (x_q-μ)ᵀΣ⁻¹(x_q-μ) = ‖L⁻¹(x_q-μ)‖² with
+// Σ = LLᵀ, reducing the per-evaluation cost from the m³-flavored
+// inverse product to m²/2 multiply-adds.
+func NumericalOpt(p *ir.Program, _ Context) {
+	rewriteProgram(p, func(e ir.Expr) ir.Expr {
+		c, ok := e.(ir.Call)
+		if !ok {
+			return e
+		}
+		switch c.Name {
+		case "mahalanobis":
+			// mahalanobis(q, r, Sigma) → sq_norm(forward_solve(L, q - r))
+			return ir.Call{Name: "sq_norm", Args: []ir.Expr{
+				ir.Call{Name: "forward_solve", Args: []ir.Expr{
+					ir.Prop("L"), ir.Bin{Op: "-", A: c.Args[0], B: c.Args[1]},
+				}},
+			}}
+		case "mahalanobis_interval_min":
+			return ir.Call{Name: "cholesky_interval_min", Args: []ir.Expr{
+				ir.Prop("L"), c.Args[0], c.Args[1],
+			}}
+		case "mahalanobis_interval_max":
+			return ir.Call{Name: "cholesky_interval_max", Args: []ir.Expr{
+				ir.Prop("L"), c.Args[0], c.Args[1],
+			}}
+		}
+		return e
+	})
+}
+
+// StrengthReduce replaces long-latency operations with cheaper forms
+// (paper Section IV-E): pow with an integer exponent below 4 becomes
+// chained multiplication; sqrt(x) becomes 1/(1/fast_inverse_sqrt(x))
+// — the form that returns 0 (not NaN) at x = 0; exp becomes fast_exp.
+func StrengthReduce(p *ir.Program, _ Context) {
+	rewriteProgram(p, func(e ir.Expr) ir.Expr {
+		c, ok := e.(ir.Call)
+		if !ok {
+			return e
+		}
+		switch c.Name {
+		case "pow":
+			n, ok := c.Args[1].(ir.IntLit)
+			if !ok || n >= 4 || n < 0 {
+				return e
+			}
+			switch n {
+			case 0:
+				return ir.FloatLit(1)
+			case 1:
+				return c.Args[0]
+			case 2:
+				return ir.Bin{Op: "*", A: c.Args[0], B: ir.CloneExpr(c.Args[0])}
+			default: // 3
+				return ir.Bin{Op: "*",
+					A: ir.Bin{Op: "*", A: c.Args[0], B: ir.CloneExpr(c.Args[0])},
+					B: ir.CloneExpr(c.Args[0]),
+				}
+			}
+		case "sqrt":
+			// sqrt(x) = 1 / (1/sqrt(x)): the reciprocal-of-inverse form
+			// that returns 0 (not NaN) at x = 0 (Section IV-E).
+			return ir.Bin{Op: "/", A: ir.FloatLit(1),
+				B: ir.Call{Name: "fast_inverse_sqrt", Args: c.Args}}
+		case "exp":
+			return ir.Call{Name: "fast_exp", Args: c.Args}
+		}
+		return e
+	})
+}
+
+// ConstFold folds constant subexpressions and algebraic identities —
+// one of the "standard passes" of Section IV-F.
+func ConstFold(p *ir.Program, _ Context) {
+	rewriteProgram(p, foldExpr)
+}
+
+func litValue(e ir.Expr) (float64, bool) {
+	switch n := e.(type) {
+	case ir.FloatLit:
+		return float64(n), true
+	case ir.IntLit:
+		return float64(n), true
+	default:
+		return 0, false
+	}
+}
+
+func foldExpr(e ir.Expr) ir.Expr {
+	b, ok := e.(ir.Bin)
+	if !ok {
+		return e
+	}
+	av, aok := litValue(b.A)
+	bv, bok := litValue(b.B)
+	if aok && bok {
+		switch b.Op {
+		case "+":
+			return ir.FloatLit(av + bv)
+		case "-":
+			return ir.FloatLit(av - bv)
+		case "*":
+			return ir.FloatLit(av * bv)
+		case "/":
+			if bv != 0 {
+				return ir.FloatLit(av / bv)
+			}
+		}
+		return e
+	}
+	// Identities. x*1 = x, 1*x = x, x+0 = x, 0+x = x, x-0 = x, x/1 = x,
+	// 0*x = 0, x*0 = 0.
+	switch b.Op {
+	case "*":
+		if aok && av == 1 {
+			return b.B
+		}
+		if bok && bv == 1 {
+			return b.A
+		}
+		if (aok && av == 0) || (bok && bv == 0) {
+			return ir.FloatLit(0)
+		}
+	case "+":
+		if aok && av == 0 {
+			return b.B
+		}
+		if bok && bv == 0 {
+			return b.A
+		}
+	case "-":
+		if bok && bv == 0 {
+			return b.A
+		}
+	case "/":
+		if bok && bv == 1 {
+			return b.A
+		}
+	}
+	return e
+}
+
+// DeadCodeElim removes allocations whose names are never referenced
+// and conditionals whose branches are empty.
+func DeadCodeElim(p *ir.Program, _ Context) {
+	for _, f := range []*ir.Func{p.BaseCase, p.PruneApprox, p.ComputeApprox} {
+		if f == nil {
+			continue
+		}
+		used := map[string]bool{}
+		collectUses(f.Body, used)
+		f.Body = dce(f.Body, used)
+	}
+}
+
+func collectUses(ss []ir.Stmt, used map[string]bool) {
+	mark := func(e ir.Expr) ir.Expr {
+		switch n := e.(type) {
+		case ir.Ref:
+			used[string(n)] = true
+		case ir.Index:
+			used[n.Arr] = true
+		}
+		return e
+	}
+	// RewriteStmts visits every expression; reuse it as a walker. It
+	// mutates in place with identity rewrites, so the program text is
+	// unchanged.
+	RewriteStmts(ss, mark)
+	// Assignment targets alone do not keep an alloc alive, but we have
+	// already marked them via LHS traversal; refine: a name only ever
+	// written is still dead. Gather write-only names.
+	writes := map[string]int{}
+	reads := map[string]int{}
+	var scan func([]ir.Stmt)
+	countReads := func(e ir.Expr) {
+		RewriteExpr(ir.CloneExpr(e), func(x ir.Expr) ir.Expr {
+			switch n := x.(type) {
+			case ir.Ref:
+				reads[string(n)]++
+			case ir.Index:
+				reads[n.Arr]++
+			}
+			return x
+		})
+	}
+	scan = func(ss []ir.Stmt) {
+		for _, s := range ss {
+			switch n := s.(type) {
+			case ir.Assign:
+				switch l := n.LHS.(type) {
+				case ir.Ref:
+					writes[string(l)]++
+				case ir.Index:
+					// Array element writes keep the array alive (it is
+					// output storage).
+					reads[l.Arr]++
+					countReads(l.Idx)
+				}
+				countReads(n.RHS)
+			case ir.Accum:
+				switch l := n.LHS.(type) {
+				case ir.Ref:
+					// Accumulators are read-modify-write.
+					reads[string(l)]++
+					writes[string(l)]++
+				case ir.Index:
+					reads[l.Arr]++
+					countReads(l.Idx)
+				}
+				countReads(n.RHS)
+			case ir.Alloc:
+				if n.Size != nil {
+					countReads(n.Size)
+				}
+				if n.Init != nil {
+					countReads(n.Init)
+				}
+			case ir.For:
+				countReads(n.Lo)
+				countReads(n.Hi)
+				scan(n.Body)
+			case ir.If:
+				countReads(n.Cond)
+				scan(n.Then)
+				scan(n.Else)
+			case ir.Return:
+				if n.E != nil {
+					countReads(n.E)
+				}
+			case ir.KInsert:
+				reads[n.List]++
+				countReads(n.Value)
+				countReads(n.Index)
+			case ir.Append:
+				reads[n.List]++
+				countReads(n.Value)
+				countReads(n.Index)
+			}
+		}
+	}
+	scan(ss)
+	for name := range used {
+		if reads[name] == 0 {
+			delete(used, name)
+		}
+	}
+	// Output storage always survives.
+	used["storage0"] = true
+	used["storage1"] = true
+}
+
+func dce(ss []ir.Stmt, used map[string]bool) []ir.Stmt {
+	out := ss[:0]
+	for _, s := range ss {
+		switch n := s.(type) {
+		case ir.Alloc:
+			if !used[n.Name] {
+				continue
+			}
+		case ir.Assign:
+			if r, ok := n.LHS.(ir.Ref); ok && !used[string(r)] {
+				continue
+			}
+		case ir.For:
+			n.Body = dce(n.Body, used)
+			if len(n.Body) == 0 {
+				continue
+			}
+			s = n
+		case ir.If:
+			n.Then = dce(n.Then, used)
+			n.Else = dce(n.Else, used)
+			if len(n.Then) == 0 && len(n.Else) == 0 {
+				continue
+			}
+			s = n
+		}
+		out = append(out, s)
+	}
+	return out
+}

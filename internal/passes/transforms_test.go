@@ -1,0 +1,197 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"portal/internal/ir"
+	"portal/internal/storage"
+)
+
+func progWith(stmts ...ir.Stmt) *ir.Program {
+	return &ir.Program{
+		Problem:       "t",
+		BaseCase:      &ir.Func{Name: "BaseCase", Body: stmts},
+		PruneApprox:   &ir.Func{Name: "Prune/Approx", Body: nil},
+		ComputeApprox: &ir.Func{Name: "ComputeApprox", Body: nil},
+	}
+}
+
+func TestFlattenRowMajor(t *testing.T) {
+	p := progWith(ir.Assign{
+		LHS: ir.Ref("t"),
+		RHS: ir.Load2{DS: "query", Pt: ir.Ref("q"), Dim: ir.Ref("d")},
+	})
+	Flatten(p, Context{QueryLayout: storage.RowMajor, RefLayout: storage.RowMajor})
+	out := p.String()
+	if !strings.Contains(out, "load(query,((q * dim) + d))") {
+		t.Fatalf("row-major flatten wrong:\n%s", out)
+	}
+}
+
+func TestFlattenColMajor(t *testing.T) {
+	p := progWith(ir.Assign{
+		LHS: ir.Ref("t"),
+		RHS: ir.Load2{DS: "reference", Pt: ir.Ref("r"), Dim: ir.Ref("d")},
+	})
+	Flatten(p, Context{QueryLayout: storage.ColMajor, RefLayout: storage.ColMajor})
+	out := p.String()
+	if !strings.Contains(out, "load(reference,((d * reference.n) + r))") {
+		t.Fatalf("col-major flatten wrong:\n%s", out)
+	}
+}
+
+func TestNumericalOptRewritesMahalanobis(t *testing.T) {
+	p := progWith(ir.Alloc{Name: "t", Init: ir.Call{Name: "mahalanobis", Args: []ir.Expr{
+		ir.Ref("q"), ir.Ref("r"), ir.Prop("Sigma"),
+	}}})
+	NumericalOpt(p, Context{})
+	out := p.String()
+	if strings.Contains(out, "mahalanobis(") {
+		t.Fatal("mahalanobis call should be rewritten")
+	}
+	if !strings.Contains(out, "sq_norm(forward_solve(L, (q - r)))") {
+		t.Fatalf("expected Cholesky forward-substitution form:\n%s", out)
+	}
+}
+
+func TestNumericalOptIntervalForms(t *testing.T) {
+	p := progWith(
+		ir.Alloc{Name: "a", Init: ir.Call{Name: "mahalanobis_interval_min", Args: []ir.Expr{ir.Ref("N1"), ir.Ref("N2"), ir.Prop("Sigma")}}},
+		ir.Alloc{Name: "b", Init: ir.Call{Name: "mahalanobis_interval_max", Args: []ir.Expr{ir.Ref("N1"), ir.Ref("N2"), ir.Prop("Sigma")}}},
+	)
+	NumericalOpt(p, Context{})
+	out := p.String()
+	if !strings.Contains(out, "cholesky_interval_min(L, N1, N2)") ||
+		!strings.Contains(out, "cholesky_interval_max(L, N1, N2)") {
+		t.Fatalf("interval forms not rewritten:\n%s", out)
+	}
+}
+
+func TestStrengthReducePow(t *testing.T) {
+	mk := func(n int64) *ir.Program {
+		return progWith(ir.Assign{LHS: ir.Ref("t"),
+			RHS: ir.Call{Name: "pow", Args: []ir.Expr{ir.Ref("x"), ir.IntLit(n)}}})
+	}
+	cases := map[int64]string{
+		0: "t = 1",
+		1: "t = x",
+		2: "t = (x * x)",
+		3: "t = ((x * x) * x)",
+	}
+	for n, want := range cases {
+		p := mk(n)
+		StrengthReduce(p, Context{})
+		if !strings.Contains(p.String(), want) {
+			t.Errorf("pow(x,%d): got\n%s\nwant %s", n, p.String(), want)
+		}
+	}
+	// Exponent >= 4 is untouched (paper: "exponent less than 4").
+	p := mk(5)
+	StrengthReduce(p, Context{})
+	if !strings.Contains(p.String(), "pow(x, 5)") {
+		t.Errorf("pow(x,5) should survive:\n%s", p.String())
+	}
+}
+
+func TestStrengthReduceSqrtAndExp(t *testing.T) {
+	p := progWith(
+		ir.Assign{LHS: ir.Ref("a"), RHS: ir.Call{Name: "sqrt", Args: []ir.Expr{ir.Ref("x")}}},
+		ir.Assign{LHS: ir.Ref("b"), RHS: ir.Call{Name: "exp", Args: []ir.Expr{ir.Ref("y")}}},
+	)
+	StrengthReduce(p, Context{})
+	out := p.String()
+	if !strings.Contains(out, "a = (1 / fast_inverse_sqrt(x))") {
+		t.Errorf("sqrt should become the reciprocal-inverse form:\n%s", out)
+	}
+	if !strings.Contains(out, "b = fast_exp(y)") {
+		t.Errorf("exp should become fast_exp:\n%s", out)
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	cases := []struct {
+		in   ir.Expr
+		want string
+	}{
+		{ir.Bin{Op: "+", A: ir.FloatLit(2), B: ir.FloatLit(3)}, "t = 5"},
+		{ir.Bin{Op: "*", A: ir.FloatLit(4), B: ir.FloatLit(2)}, "t = 8"},
+		{ir.Bin{Op: "-", A: ir.IntLit(7), B: ir.IntLit(3)}, "t = 4"},
+		{ir.Bin{Op: "/", A: ir.FloatLit(9), B: ir.FloatLit(3)}, "t = 3"},
+		{ir.Bin{Op: "*", A: ir.Ref("x"), B: ir.FloatLit(1)}, "t = x"},
+		{ir.Bin{Op: "*", A: ir.FloatLit(1), B: ir.Ref("x")}, "t = x"},
+		{ir.Bin{Op: "*", A: ir.Ref("x"), B: ir.FloatLit(0)}, "t = 0"},
+		{ir.Bin{Op: "+", A: ir.FloatLit(0), B: ir.Ref("x")}, "t = x"},
+		{ir.Bin{Op: "-", A: ir.Ref("x"), B: ir.FloatLit(0)}, "t = x"},
+		{ir.Bin{Op: "/", A: ir.Ref("x"), B: ir.FloatLit(1)}, "t = x"},
+	}
+	for _, c := range cases {
+		p := progWith(ir.Assign{LHS: ir.Ref("t"), RHS: c.in})
+		ConstFold(p, Context{})
+		if !strings.Contains(p.String(), c.want+"\n") {
+			t.Errorf("fold %v: got\n%s\nwant %q", c.in, p.String(), c.want)
+		}
+	}
+	// Division by constant zero must not fold.
+	p := progWith(ir.Assign{LHS: ir.Ref("t"), RHS: ir.Bin{Op: "/", A: ir.FloatLit(1), B: ir.FloatLit(0)}})
+	ConstFold(p, Context{})
+	if !strings.Contains(p.String(), "(1 / 0)") {
+		t.Error("division by zero should not fold")
+	}
+}
+
+func TestDeadCodeElim(t *testing.T) {
+	p := progWith(
+		ir.Alloc{Name: "used", Init: ir.FloatLit(0)},
+		ir.Alloc{Name: "unused", Init: ir.FloatLit(0)},
+		ir.Assign{LHS: ir.Ref("writeonly"), RHS: ir.FloatLit(2)},
+		ir.Accum{Op: "+", LHS: ir.Ref("used"), RHS: ir.FloatLit(1)},
+		ir.Assign{LHS: ir.Index{Arr: "storage0", Idx: ir.Ref("q")}, RHS: ir.Ref("used")},
+		ir.If{Cond: ir.Ref("used"), Then: nil, Else: nil},
+	)
+	DeadCodeElim(p, Context{})
+	out := p.String()
+	if strings.Contains(out, "unused") {
+		t.Errorf("unused alloc should be removed:\n%s", out)
+	}
+	if strings.Contains(out, "writeonly") {
+		t.Errorf("write-only assignment should be removed:\n%s", out)
+	}
+	if !strings.Contains(out, "alloc used") {
+		t.Errorf("live alloc must survive:\n%s", out)
+	}
+	if strings.Contains(out, "if (used)") {
+		t.Errorf("empty conditional should be removed:\n%s", out)
+	}
+}
+
+func TestDCEKeepsOutputStorage(t *testing.T) {
+	p := progWith(
+		ir.Alloc{Name: "storage0", Size: ir.Prop("query.size")},
+		ir.Alloc{Name: "storage1", Init: ir.FloatLit(0)},
+	)
+	DeadCodeElim(p, Context{})
+	out := p.String()
+	if !strings.Contains(out, "storage0") || !strings.Contains(out, "storage1") {
+		t.Errorf("output storage must always survive DCE:\n%s", out)
+	}
+}
+
+func TestPipelineStagesRecorded(t *testing.T) {
+	p := progWith(
+		ir.Assign{LHS: ir.Ref("t"), RHS: ir.Call{Name: "sqrt", Args: []ir.Expr{ir.Ref("x")}}},
+		ir.Assign{LHS: ir.Index{Arr: "storage0", Idx: ir.Ref("q")}, RHS: ir.Ref("t")},
+	)
+	pl := Default(Context{})
+	final := pl.Run(p)
+	if len(pl.Stages) != 6 {
+		t.Fatalf("stages = %d, want 6", len(pl.Stages))
+	}
+	// The input program must be untouched (passes run on a clone).
+	if !strings.Contains(p.String(), "sqrt(x)") {
+		t.Error("pipeline must not mutate its input")
+	}
+	if !strings.Contains(final.String(), "fast_inverse_sqrt") {
+		t.Error("final program should be strength-reduced")
+	}
+}

@@ -1,0 +1,40 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"portal/internal/storage"
+)
+
+// Parallel NBC classification must agree with sequential and brute.
+func TestNBCParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	centers := [][]float64{{0, 0, 0}, {4, 0, 0}, {0, 4, 0}, {0, 0, 4}}
+	trainRows, labels := gaussianBlobs(rng, 200, centers, 1.0)
+	model, err := NBCTrain(storage.MustFromRows(trainRows), labels, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testRows, _ := gaussianBlobs(rng, 1500, centers, 1.3)
+	test := storage.MustFromRows(testRows)
+	seq, err := model.Classify(test, Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := model.Classify(test, Config{LeafSize: 16, Parallel: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("point %d: seq %d vs par %d", i, seq[i], par[i])
+		}
+	}
+	want := model.ClassifyBrute(test)
+	for i := range seq {
+		if seq[i] != want[i] {
+			t.Fatalf("point %d: %d vs brute %d", i, seq[i], want[i])
+		}
+	}
+}

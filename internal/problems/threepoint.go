@@ -1,0 +1,128 @@
+package problems
+
+import (
+	"portal/internal/prune"
+	"portal/internal/storage"
+	"portal/internal/traverse"
+	"portal/internal/tree"
+)
+
+// 3-point correlation — the m=3 instance of the paper's generalized
+// N-body formulation (equation 2), named in its introduction among the
+// "n-point correlation" problems PASCAL's abstractions cover. The
+// kernel is the conjunction of three pairwise threshold indicators,
+//
+//	Σ_i Σ_j Σ_k I(‖x_i−x_j‖<r)·I(‖x_i−x_k‖<r)·I(‖x_j−x_k‖<r),
+//
+// evaluated with the m-way multi-tree traversal: a node triple prunes
+// when any pairwise minimum distance already exceeds r, and
+// bulk-counts |A|·|B|·|C| when every pairwise maximum distance is
+// inside r — the window rule lifted to tuples.
+
+// ThreePointCorrelation counts ordered triples (i, j, k) whose three
+// pairwise distances are all below r (self-indices included, matching
+// the ordered-pair convention of TwoPointCorrelation).
+func ThreePointCorrelation(data *storage.Storage, radius float64, cfg Config) (float64, error) {
+	t := tree.BuildKD(data, &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel})
+	rule := &threePointRule{t: t, r2: radius * radius}
+	traverse.RunMulti([]*tree.Tree{t, t, t}, rule)
+	return float64(rule.count), nil
+}
+
+// ThreePointBrute is the O(N³) oracle.
+func ThreePointBrute(data *storage.Storage, radius float64) float64 {
+	n := data.Len()
+	r2 := radius * radius
+	pts := data.Rows()
+	d2 := func(a, b []float64) float64 {
+		var s float64
+		for m := range a {
+			diff := a[m] - b[m]
+			s += diff * diff
+		}
+		return s
+	}
+	var count int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d2(pts[i], pts[j]) >= r2 {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if d2(pts[i], pts[k]) < r2 && d2(pts[j], pts[k]) < r2 {
+					count++
+				}
+			}
+		}
+	}
+	return float64(count)
+}
+
+type threePointRule struct {
+	t     *tree.Tree
+	r2    float64
+	count int64
+}
+
+// PruneApprox lifts the window rule to node triples.
+func (r *threePointRule) PruneApprox(nodes []*tree.Node) prune.Decision {
+	allInside := true
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[i].BBox.MinDist2(nodes[j].BBox) >= r.r2 {
+				return prune.Prune
+			}
+			if nodes[i].BBox.MaxDist2(nodes[j].BBox) >= r.r2 {
+				allInside = false
+			}
+		}
+	}
+	if allInside {
+		return prune.Approx
+	}
+	return prune.Visit
+}
+
+// ComputeApprox bulk-counts a definitely-inside triple.
+func (r *threePointRule) ComputeApprox(nodes []*tree.Node) {
+	r.count += int64(nodes[0].Count()) * int64(nodes[1].Count()) * int64(nodes[2].Count())
+}
+
+// BaseCase counts triples directly over three leaves.
+func (r *threePointRule) BaseCase(nodes []*tree.Node) {
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	data := r.t.Data
+	rowMajor := data.Layout() == storage.RowMajor
+	pt := func(i int, buf []float64) []float64 {
+		if rowMajor {
+			return data.Row(i)
+		}
+		return data.Point(i, buf)
+	}
+	bufA := make([]float64, r.t.Dim())
+	bufB := make([]float64, r.t.Dim())
+	bufC := make([]float64, r.t.Dim())
+	d2 := func(x, y []float64) float64 {
+		var s float64
+		for m := range x {
+			diff := x[m] - y[m]
+			s += diff * diff
+		}
+		return s
+	}
+	for i := a.Begin; i < a.End; i++ {
+		pi := pt(i, bufA)
+		for j := b.Begin; j < b.End; j++ {
+			pj := pt(j, bufB)
+			if d2(pi, pj) >= r.r2 {
+				continue
+			}
+			for k := c.Begin; k < c.End; k++ {
+				pk := pt(k, bufC)
+				if d2(pi, pk) < r.r2 && d2(pj, pk) < r.r2 {
+					r.count++
+				}
+			}
+		}
+	}
+}

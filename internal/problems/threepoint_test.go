@@ -1,0 +1,90 @@
+package problems
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"portal/internal/storage"
+)
+
+func TestThreePointMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := storage.MustFromRows(randRows(rng, 120, 3, 2))
+		for _, r := range []float64{0.8, 2.0, 5.0} {
+			got, err := ThreePointCorrelation(s, r, Config{LeafSize: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ThreePointBrute(s, r)
+			if got != want {
+				t.Fatalf("seed %d r=%v: 3PC %v vs brute %v", seed, r, got, want)
+			}
+		}
+	}
+}
+
+func TestThreePointDegenerateRadii(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := storage.MustFromRows(randRows(rng, 60, 2, 2))
+	n := float64(s.Len())
+
+	// Radius larger than the diameter: every ordered triple counts.
+	got, err := ThreePointCorrelation(s, 1e9, Config{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n*n*n {
+		t.Fatalf("huge radius: %v, want n³ = %v", got, n*n*n)
+	}
+
+	// Radius smaller than any gap: only the n self-triples.
+	got, err = ThreePointCorrelation(s, 1e-12, Config{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("tiny radius: %v, want n = %v", got, n)
+	}
+}
+
+// The triple count is internally consistent with the pair count: for a
+// clustered dataset where clusters are mutually unreachable, the
+// triple count is the sum over clusters of n_c³ (all-inside clusters).
+func TestThreePointClusterConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var rows [][]float64
+	sizes := []int{30, 50, 20}
+	for c, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			rows = append(rows, []float64{
+				float64(c)*1000 + rng.Float64(),
+				float64(c)*1000 + rng.Float64(),
+			})
+		}
+	}
+	s := storage.MustFromRows(rows)
+	got, err := ThreePointCorrelation(s, 10, Config{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, sz := range sizes {
+		want += math.Pow(float64(sz), 3)
+	}
+	if got != want {
+		t.Fatalf("clustered 3PC %v, want %v", got, want)
+	}
+}
+
+func BenchmarkThreePointTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := storage.MustFromRows(randRows(rng, 2000, 3, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ThreePointCorrelation(s, 0.5, Config{LeafSize: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package prune implements the prune/approximate condition generator
+// Portal adapts from the PASCAL framework (paper Sections II-B, II-C,
+// IV). Given the problem classification — derived from the operator
+// set and the kernel — it produces the runtime decision rule the
+// multi-tree traversal evaluates for every node pair:
+//
+//   - comparative reduction operators (min/argmin/k-variants) generate
+//     a best-so-far bound rule: prune a node pair whose minimum kernel
+//     distance already exceeds the query node's current bound;
+//   - comparative kernels (indicator windows) generate an interval
+//     rule: prune when the indicator is definitely 0 over the pair,
+//     and bulk-include (an *exact* "approximation") when definitely 1;
+//   - arithmetic operators over smooth kernels generate the
+//     approximation rule: approximate when the kernel's variation over
+//     the pair is below the user threshold τ, replacing the pair's
+//     computation with the center contribution times the node density
+//     (ComputeApprox, Section II-C).
+package prune
+
+import (
+	"fmt"
+
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+)
+
+// Decision is the outcome of evaluating the prune/approximate
+// condition for a node pair.
+type Decision int
+
+// Decisions.
+const (
+	// Visit recurses into the pair (or runs the base case at leaves).
+	Visit Decision = iota
+	// Prune discards the pair: it cannot contribute to the result.
+	Prune
+	// Approx replaces the pair's computation with ComputeApprox.
+	Approx
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Visit:
+		return "VISIT"
+	case Prune:
+		return "PRUNE"
+	case Approx:
+		return "APPROX"
+	default:
+		return "?"
+	}
+}
+
+// Kind identifies which rule family the generator selected.
+type Kind int
+
+// Rule families.
+const (
+	// BoundRule prunes by comparing the pair's minimum distance with
+	// the query node's best-so-far bound (NN, kNN, MST, Hausdorff).
+	BoundRule Kind = iota
+	// WindowRule prunes/bulk-includes by the comparative kernel's
+	// definite-0/definite-1 interval (range search, 2-point
+	// correlation).
+	WindowRule
+	// TauRule approximates when the kernel variation over the pair is
+	// below τ (KDE and other approximation problems).
+	TauRule
+	// NoRule never prunes (∪ over non-comparative kernels: the
+	// traversal degenerates to exact base cases).
+	NoRule
+)
+
+// String names the rule family.
+func (k Kind) String() string {
+	switch k {
+	case BoundRule:
+		return "bound"
+	case WindowRule:
+		return "window"
+	case TauRule:
+		return "tau"
+	case NoRule:
+		return "none"
+	default:
+		return "?"
+	}
+}
+
+// Rule is a generated prune/approximate condition.
+type Rule struct {
+	// Kind is the selected rule family.
+	Kind Kind
+	// Kernel is the problem kernel the rule interrogates.
+	Kernel expr.PairKernel
+	// Tau is the approximation threshold for TauRule.
+	Tau float64
+	// MaxSide reports whether the bound rule chases maxima (ARGMAX /
+	// MAX inner operators) instead of minima.
+	MaxSide bool
+}
+
+// Generate derives the rule from the problem classification, inner
+// operator, and kernel — the Portal adaptation of PASCAL's generator
+// (Section IV: "we modify it to get the Portal operators and kernel
+// function as input").
+func Generate(class lang.Class, innerOp lang.Op, kernel expr.PairKernel, tau float64) (*Rule, error) {
+	switch class {
+	case lang.ApproxClass:
+		if tau <= 0 {
+			return nil, fmt.Errorf("prune: approximation problem requires tau > 0")
+		}
+		return &Rule{Kind: TauRule, Kernel: kernel, Tau: tau}, nil
+	case lang.PruneClass:
+		if innerOp.Comparative() {
+			return &Rule{
+				Kind:    BoundRule,
+				Kernel:  kernel,
+				MaxSide: innerOp == lang.MAX || innerOp == lang.ARGMAX || innerOp == lang.KMAX || innerOp == lang.KARGMAX,
+			}, nil
+		}
+		if kernel.IsComparative() {
+			return &Rule{Kind: WindowRule, Kernel: kernel}, nil
+		}
+		return &Rule{Kind: NoRule, Kernel: kernel}, nil
+	default:
+		return nil, fmt.Errorf("prune: unknown class %v", class)
+	}
+}
+
+// Decide evaluates the condition for a node pair.
+//
+// qBound is the query node's current best-so-far bound: for min-side
+// rules it is an upper bound on the worst (largest) best-candidate
+// value any query point in the node still holds; a pair whose smallest
+// possible kernel value exceeds it is useless. For max-side rules the
+// roles flip. WindowRule and TauRule ignore qBound.
+func (r *Rule) Decide(qBox, rBox geom.Rect, qBound float64) Decision {
+	switch r.Kind {
+	case BoundRule:
+		lo, hi := r.Kernel.Bounds(qBox, rBox)
+		if r.MaxSide {
+			if hi < qBound {
+				return Prune
+			}
+		} else if lo > qBound {
+			return Prune
+		}
+		return Visit
+	case WindowRule:
+		lo, hi := r.Kernel.Bounds(qBox, rBox)
+		if hi <= 0 {
+			return Prune // indicator definitely 0 over the pair
+		}
+		if lo >= 1 {
+			return Approx // definitely 1: bulk-include exactly
+		}
+		return Visit
+	case TauRule:
+		lo, hi := r.Kernel.Bounds(qBox, rBox)
+		if hi-lo < r.Tau {
+			return Approx
+		}
+		return Visit
+	default:
+		return Visit
+	}
+}

@@ -1,0 +1,79 @@
+package traverse
+
+import (
+	"portal/internal/prune"
+	"portal/internal/tree"
+)
+
+// This file generalizes the traversal to m trees — Algorithm 1 as
+// written, with its PowerSet-Tuples: at each level every non-leaf node
+// in the tuple splits into its children and the recursion visits the
+// cartesian product of the splits. The two-tree Run is the m=2
+// specialization; m ≥ 3 serves higher-order problems such as n-point
+// correlation, which the paper's general formulation (Section II,
+// equation 2) covers.
+
+// MultiRule supplies the problem-specific pieces for an m-way
+// traversal.
+type MultiRule interface {
+	// PruneApprox decides the fate of a node tuple.
+	PruneApprox(nodes []*tree.Node) prune.Decision
+	// ComputeApprox replaces the tuple's computation with its
+	// approximation.
+	ComputeApprox(nodes []*tree.Node)
+	// BaseCase performs the direct computation for an all-leaf tuple.
+	BaseCase(nodes []*tree.Node)
+}
+
+// RunMulti performs the m-way multi-tree traversal over the roots of
+// the given trees.
+func RunMulti(ts []*tree.Tree, rule MultiRule) {
+	nodes := make([]*tree.Node, len(ts))
+	for i, t := range ts {
+		nodes[i] = t.Root
+	}
+	multiDual(nodes, rule)
+}
+
+func multiDual(nodes []*tree.Node, rule MultiRule) {
+	switch rule.PruneApprox(nodes) {
+	case prune.Prune:
+		return
+	case prune.Approx:
+		rule.ComputeApprox(nodes)
+		return
+	}
+	allLeaves := true
+	for _, n := range nodes {
+		if !n.IsLeaf() {
+			allLeaves = false
+			break
+		}
+	}
+	if allLeaves {
+		rule.BaseCase(nodes)
+		return
+	}
+	// PowerSet-Tuples (Algorithm 1 lines 6–11): each node splits into
+	// its children (or itself when a leaf); recurse on the cartesian
+	// product.
+	splits := make([][]*tree.Node, len(nodes))
+	for i, n := range nodes {
+		splits[i] = split(n)
+	}
+	tuple := make([]*tree.Node, len(nodes))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(nodes) {
+			next := make([]*tree.Node, len(tuple))
+			copy(next, tuple)
+			multiDual(next, rule)
+			return
+		}
+		for _, c := range splits[i] {
+			tuple[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,212 @@
+// Package traverse implements PASCAL's multi-tree traversal
+// (Algorithm 1 of the paper) over a pair of space-partitioning trees,
+// in sequential and parallel form.
+//
+// The traversal is generic over a Rule, which provides the three
+// functions highlighted in Algorithm 1 — Prune/Approximate,
+// ComputeApprox, and BaseCase — plus two hooks this implementation
+// needs: PostChildren (so bound-based rules can tighten a query node's
+// bound after its children finish) and Fork (per-task scratch state
+// for the parallel traversal).
+//
+// Parallelization follows Section IV-F: task parallelism over the
+// traversal recursion — tasks are spawned on query-side child splits
+// until the workers saturate, at which point the remaining recursion
+// runs sequentially (data parallelism inside leaf base cases is the
+// specialized kernels' unrolled loops).
+package traverse
+
+import (
+	"runtime"
+	"sync"
+
+	"portal/internal/prune"
+	"portal/internal/tree"
+)
+
+// Rule supplies the problem-specific pieces of Algorithm 1.
+type Rule interface {
+	// PruneApprox decides the fate of a node pair (Algorithm 1, line 1).
+	PruneApprox(qn, rn *tree.Node) prune.Decision
+	// ComputeApprox replaces the pair's computation with its
+	// approximation (line 2).
+	ComputeApprox(qn, rn *tree.Node)
+	// BaseCase performs the direct point-to-point computation for a
+	// leaf pair (line 4).
+	BaseCase(qn, rn *tree.Node)
+	// PostChildren is invoked after every child tuple of qn has been
+	// traversed, letting bound-based rules tighten qn's prune bound.
+	PostChildren(qn *tree.Node)
+	// Fork returns a Rule handle safe to use from a concurrent task
+	// that owns a disjoint query subtree. Implementations typically
+	// share result arrays (disjoint index ranges) and clone scratch
+	// buffers.
+	Fork() Rule
+}
+
+// ChildOrderer is an optional Rule capability: rules with best-so-far
+// bounds visit the more promising reference child first, tightening
+// bounds sooner (the classic nearest-child-first heuristic).
+// SwapRefChildren reports whether b should be visited before a.
+type ChildOrderer interface {
+	SwapRefChildren(qc, a, b *tree.Node) bool
+}
+
+// Run performs the sequential multi-tree traversal.
+func Run(q, r *tree.Tree, rule Rule) {
+	ord, _ := rule.(ChildOrderer)
+	dual(q.Root, r.Root, rule, ord)
+}
+
+// dual is Algorithm 1. The power-set of child tuples is materialized
+// implicitly by the nested loops over each node's split set.
+func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer) {
+	switch rule.PruneApprox(qn, rn) {
+	case prune.Prune:
+		return
+	case prune.Approx:
+		rule.ComputeApprox(qn, rn)
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		rule.BaseCase(qn, rn)
+		return
+	}
+	qsplit := split(qn)
+	rsplit := split(rn)
+	for _, qc := range qsplit {
+		if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
+			dual(qc, rsplit[1], rule, ord)
+			dual(qc, rsplit[0], rule, ord)
+			continue
+		}
+		for _, rc := range rsplit {
+			dual(qc, rc, rule, ord)
+		}
+	}
+	rule.PostChildren(qn)
+}
+
+// split returns the node's children, or the node itself when it is a
+// leaf (Algorithm 1 lines 7–8).
+func split(n *tree.Node) []*tree.Node {
+	if n.IsLeaf() {
+		return []*tree.Node{n}
+	}
+	return n.Children
+}
+
+// Options configure the parallel traversal.
+type Options struct {
+	// Workers caps concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// SpawnDepth controls how deep query-side splits keep spawning
+	// tasks; 0 derives it from Workers (enough tasks to saturate with
+	// ~8× oversubscription for load balance).
+	SpawnDepth int
+}
+
+// RunParallel performs the traversal with query-side task parallelism.
+// Correctness requires only that concurrent tasks own disjoint query
+// subtrees: all per-query and per-query-node state is then written by
+// exactly one task, while the reference tree is shared read-only.
+func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		Run(q, r, rule)
+		return
+	}
+	depth := opts.SpawnDepth
+	if depth <= 0 {
+		// 2^depth leaves of the task tree ≈ 8 tasks per worker.
+		depth = 3
+		for 1<<depth < workers*8 {
+			depth++
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	ord, _ := rule.(ChildOrderer)
+	parDual(q.Root, r.Root, rule, ord, depth, &wg, sem)
+	wg.Wait()
+}
+
+// parDual mirrors dual but spawns the first query-child group into a
+// new task while the current goroutine continues with the second —
+// the recursive OpenMP-task pattern of Section IV-F — until spawnDepth
+// is exhausted or the semaphore shows the workers are saturated.
+func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth int, wg *sync.WaitGroup, sem chan struct{}) {
+	switch rule.PruneApprox(qn, rn) {
+	case prune.Prune:
+		return
+	case prune.Approx:
+		rule.ComputeApprox(qn, rn)
+		return
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		rule.BaseCase(qn, rn)
+		return
+	}
+	qsplit := split(qn)
+	rsplit := split(rn)
+	if spawnDepth <= 0 || len(qsplit) < 2 {
+		for _, qc := range qsplit {
+			if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
+				dual(qc, rsplit[1], rule, ord)
+				dual(qc, rsplit[0], rule, ord)
+				continue
+			}
+			for _, rc := range rsplit {
+				dual(qc, rc, rule, ord)
+			}
+		}
+		rule.PostChildren(qn)
+		return
+	}
+	// Spawn tasks for all but the last query child; saturation is
+	// handled by the semaphore — when no slot is free the work runs
+	// inline instead (switching from task creation to straight-line
+	// data-parallel execution, as in the paper).
+	var localWG sync.WaitGroup
+	for i, qc := range qsplit {
+		if i < len(qsplit)-1 {
+			select {
+			case sem <- struct{}{}:
+				forked := rule.Fork()
+				fordered, _ := forked.(ChildOrderer)
+				localWG.Add(1)
+				wg.Add(1)
+				go func(qc *tree.Node) {
+					defer wg.Done()
+					defer localWG.Done()
+					defer func() { <-sem }()
+					if fordered != nil && len(rsplit) == 2 && fordered.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
+						parDual(qc, rsplit[1], forked, fordered, spawnDepth-1, wg, sem)
+						parDual(qc, rsplit[0], forked, fordered, spawnDepth-1, wg, sem)
+						return
+					}
+					for _, rc := range rsplit {
+						parDual(qc, rc, forked, fordered, spawnDepth-1, wg, sem)
+					}
+				}(qc)
+				continue
+			default:
+			}
+		}
+		if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
+			parDual(qc, rsplit[1], rule, ord, spawnDepth-1, wg, sem)
+			parDual(qc, rsplit[0], rule, ord, spawnDepth-1, wg, sem)
+			continue
+		}
+		for _, rc := range rsplit {
+			parDual(qc, rc, rule, ord, spawnDepth-1, wg, sem)
+		}
+	}
+	// The query node's bound may only be tightened once every child
+	// task has finished.
+	localWG.Wait()
+	rule.PostChildren(qn)
+}

@@ -1,0 +1,274 @@
+package traverse
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"portal/internal/prune"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+func buildTree(rng *rand.Rand, n, d, leaf int) *tree.Tree {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64() * 5
+		}
+	}
+	return tree.BuildKD(storage.MustFromRows(rows), &tree.Options{LeafSize: leaf})
+}
+
+// countRule visits everything and counts leaf-pair interactions per
+// query point.
+type countRule struct {
+	q, r      *tree.Tree
+	perQuery  []int64
+	baseCases int64
+	postSeen  map[int]int
+	mu        sync.Mutex
+}
+
+func (c *countRule) PruneApprox(qn, rn *tree.Node) prune.Decision { return prune.Visit }
+func (c *countRule) ComputeApprox(qn, rn *tree.Node)              {}
+func (c *countRule) BaseCase(qn, rn *tree.Node) {
+	atomic.AddInt64(&c.baseCases, 1)
+	for i := qn.Begin; i < qn.End; i++ {
+		atomic.AddInt64(&c.perQuery[i], int64(rn.Count()))
+	}
+}
+func (c *countRule) PostChildren(qn *tree.Node) {
+	c.mu.Lock()
+	c.postSeen[qn.ID]++
+	c.mu.Unlock()
+}
+func (c *countRule) Fork() Rule { return c }
+
+// Without pruning, every (query, reference) point pair must be visited
+// exactly once — Algorithm 1's power-set recursion partitions the
+// problem perfectly.
+func TestFullTraversalCoversAllPairsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := buildTree(rng, 137, 3, 8)
+	r := buildTree(rng, 211, 3, 16)
+	c := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	Run(q, r, c)
+	for i, n := range c.perQuery {
+		if n != int64(r.Len()) {
+			t.Fatalf("query %d saw %d reference points, want %d", i, n, r.Len())
+		}
+	}
+	if c.baseCases != int64(q.LeafCount*r.LeafCount) {
+		t.Fatalf("base cases %d, want %d", c.baseCases, q.LeafCount*r.LeafCount)
+	}
+}
+
+func TestParallelTraversalCoversAllPairsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := buildTree(rng, 500, 3, 8)
+	r := buildTree(rng, 400, 3, 8)
+	c := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	RunParallel(q, r, c, Options{Workers: 4})
+	for i, n := range c.perQuery {
+		if n != int64(r.Len()) {
+			t.Fatalf("query %d saw %d reference points, want %d", i, n, r.Len())
+		}
+	}
+}
+
+// pruneAllRule prunes everything: no base case may run.
+type pruneAllRule struct{ baseCases int64 }
+
+func (p *pruneAllRule) PruneApprox(qn, rn *tree.Node) prune.Decision { return prune.Prune }
+func (p *pruneAllRule) ComputeApprox(qn, rn *tree.Node)              {}
+func (p *pruneAllRule) BaseCase(qn, rn *tree.Node)                   { atomic.AddInt64(&p.baseCases, 1) }
+func (p *pruneAllRule) PostChildren(*tree.Node)                      {}
+func (p *pruneAllRule) Fork() Rule                                   { return p }
+
+func TestPruneAllRunsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := buildTree(rng, 100, 2, 8)
+	r := buildTree(rng, 100, 2, 8)
+	p := &pruneAllRule{}
+	Run(q, r, p)
+	if p.baseCases != 0 {
+		t.Fatal("pruned traversal must run no base cases")
+	}
+	RunParallel(q, r, p, Options{Workers: 4})
+	if p.baseCases != 0 {
+		t.Fatal("parallel pruned traversal must run no base cases")
+	}
+}
+
+// approxAllRule approximates the root pair immediately.
+type approxAllRule struct{ approxes int64 }
+
+func (a *approxAllRule) PruneApprox(qn, rn *tree.Node) prune.Decision { return prune.Approx }
+func (a *approxAllRule) ComputeApprox(qn, rn *tree.Node)              { atomic.AddInt64(&a.approxes, 1) }
+func (a *approxAllRule) BaseCase(qn, rn *tree.Node)                   {}
+func (a *approxAllRule) PostChildren(*tree.Node)                      {}
+func (a *approxAllRule) Fork() Rule                                   { return a }
+
+func TestApproxShortCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := buildTree(rng, 100, 2, 8)
+	r := buildTree(rng, 100, 2, 8)
+	a := &approxAllRule{}
+	Run(q, r, a)
+	if a.approxes != 1 {
+		t.Fatalf("root pair should approximate exactly once, got %d", a.approxes)
+	}
+}
+
+// PostChildren must fire for every non-leaf query node visit, after
+// its children.
+func TestPostChildrenOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := buildTree(rng, 64, 2, 8)
+	r := buildTree(rng, 64, 2, 64) // single-leaf reference tree
+	var order []int
+	rule := &orderRule{order: &order}
+	Run(q, r, rule)
+	// With a single reference leaf, dual visits each query node once;
+	// children must appear before parents (postorder property).
+	pos := map[int]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	q.Walk(func(n *tree.Node) {
+		for _, c := range n.Children {
+			if !c.IsLeaf() {
+				if pos[c.ID] > pos[n.ID] {
+					t.Fatalf("child %d ordered after parent %d", c.ID, n.ID)
+				}
+			}
+		}
+	})
+}
+
+type orderRule struct{ order *[]int }
+
+func (o *orderRule) PruneApprox(qn, rn *tree.Node) prune.Decision { return prune.Visit }
+func (o *orderRule) ComputeApprox(qn, rn *tree.Node)              {}
+func (o *orderRule) BaseCase(qn, rn *tree.Node)                   {}
+func (o *orderRule) PostChildren(qn *tree.Node) {
+	if !qn.IsLeaf() {
+		*o.order = append(*o.order, qn.ID)
+	}
+}
+func (o *orderRule) Fork() Rule { return o }
+
+// orderedRule records the visit order of reference children to verify
+// the ChildOrderer capability is honored.
+type orderedRule struct {
+	countRule
+	swaps int64
+}
+
+func (o *orderedRule) SwapRefChildren(qc, a, b *tree.Node) bool {
+	if qc.BBox.MinDist2(b.BBox) < qc.BBox.MinDist2(a.BBox) {
+		atomic.AddInt64(&o.swaps, 1)
+		return true
+	}
+	return false
+}
+func (o *orderedRule) Fork() Rule { return o }
+
+func TestChildOrdererInvoked(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := buildTree(rng, 300, 3, 8)
+	r := buildTree(rng, 300, 3, 8)
+	o := &orderedRule{countRule: countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}}
+	Run(q, r, o)
+	if o.swaps == 0 {
+		t.Fatal("orderer never invoked/swapped")
+	}
+	// Coverage must be unaffected by reordering.
+	for i, n := range o.perQuery {
+		if n != int64(r.Len()) {
+			t.Fatalf("query %d saw %d, want %d", i, n, r.Len())
+		}
+	}
+}
+
+func TestWorkerCapOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := buildTree(rng, 128, 2, 8)
+	r := buildTree(rng, 128, 2, 8)
+	c := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	RunParallel(q, r, c, Options{Workers: 1}) // must fall back to sequential
+	for i, n := range c.perQuery {
+		if n != int64(r.Len()) {
+			t.Fatalf("query %d saw %d", i, n)
+		}
+	}
+}
+
+func TestExplicitSpawnDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := buildTree(rng, 256, 2, 8)
+	r := buildTree(rng, 256, 2, 8)
+	c := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	RunParallel(q, r, c, Options{Workers: 3, SpawnDepth: 2})
+	for i, n := range c.perQuery {
+		if n != int64(r.Len()) {
+			t.Fatalf("query %d saw %d", i, n)
+		}
+	}
+}
+
+// multiCountRule counts per-tuple leaf interactions for RunMulti.
+type multiCountRule struct {
+	trees    []*tree.Tree
+	perFirst []int64
+}
+
+func (m *multiCountRule) PruneApprox(nodes []*tree.Node) prune.Decision { return prune.Visit }
+func (m *multiCountRule) ComputeApprox(nodes []*tree.Node)              {}
+func (m *multiCountRule) BaseCase(nodes []*tree.Node) {
+	prod := int64(1)
+	for _, n := range nodes[1:] {
+		prod *= int64(n.Count())
+	}
+	for i := nodes[0].Begin; i < nodes[0].End; i++ {
+		atomic.AddInt64(&m.perFirst[i], prod)
+	}
+}
+
+// RunMulti with m trees must cover the full m-way cartesian product of
+// points exactly once.
+func TestRunMultiCoversAllTuplesOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := buildTree(rng, 60, 2, 8)
+	b := buildTree(rng, 40, 2, 8)
+	c := buildTree(rng, 30, 2, 16)
+	m := &multiCountRule{trees: []*tree.Tree{a, b, c}, perFirst: make([]int64, a.Len())}
+	RunMulti([]*tree.Tree{a, b, c}, m)
+	want := int64(b.Len()) * int64(c.Len())
+	for i, n := range m.perFirst {
+		if n != want {
+			t.Fatalf("point %d participated in %d tuples, want %d", i, n, want)
+		}
+	}
+}
+
+// RunMulti with m=2 must agree with the dedicated two-tree Run.
+func TestRunMultiMatchesPairRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q := buildTree(rng, 80, 2, 8)
+	r := buildTree(rng, 90, 2, 8)
+
+	c2 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	Run(q, r, c2)
+
+	m := &multiCountRule{trees: []*tree.Tree{q, r}, perFirst: make([]int64, q.Len())}
+	RunMulti([]*tree.Tree{q, r}, m)
+	for i := range m.perFirst {
+		if m.perFirst[i] != c2.perQuery[i] {
+			t.Fatalf("point %d: multi %d vs pair %d", i, m.perFirst[i], c2.perQuery[i])
+		}
+	}
+}

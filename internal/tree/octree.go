@@ -1,0 +1,94 @@
+package tree
+
+import "portal/internal/storage"
+
+// BuildOct constructs an octree (2^d-way spatial subdivision at box
+// centers) over low-dimensional data — the tree the paper uses for the
+// Barnes-Hut validation (Section V-C, "octree for Barnes-Hut"). It
+// panics for d > 6 where 2^d fan-out stops making sense; kd-trees are
+// the right structure there.
+func BuildOct(s *storage.Storage, opts *Options) *Tree {
+	if s.Len() == 0 {
+		panic("tree: cannot build over empty storage")
+	}
+	d := s.Dim()
+	if d > 6 {
+		panic("tree: octree fan-out impractical beyond 6 dimensions; use BuildKD")
+	}
+	b := &builder{
+		src:  s,
+		idx:  make([]int, s.Len()),
+		leaf: opts.leafSize(),
+		d:    d,
+	}
+	if opts != nil && opts.Weights != nil {
+		if len(opts.Weights) != s.Len() {
+			panic("tree: weight/point count mismatch")
+		}
+		b.weights = opts.Weights
+	}
+	for i := range b.idx {
+		b.idx[i] = i
+	}
+	root := b.buildOct(0, s.Len(), 0)
+	return b.finish(root)
+}
+
+// buildOct splits [lo,hi) into up to 2^d octants around the bounding
+// box center, recursing while a child exceeds the leaf capacity.
+func (b *builder) buildOct(lo, hi, depth int) *Node {
+	bbox := b.bboxOf(lo, hi)
+	n := &Node{Begin: lo, End: hi, BBox: bbox, Center: bbox.Center(nil), Depth: depth}
+	count := hi - lo
+	_, width := bbox.WidestDim()
+	if count <= b.leaf || width == 0 {
+		b.record(n)
+		return n
+	}
+	center := n.Center
+	// Bucket points by octant code: bit j set when coord j > center j.
+	nOct := 1 << b.d
+	buckets := make([][]int, nOct)
+	p := make([]float64, b.d)
+	for i := lo; i < hi; i++ {
+		b.src.Point(b.idx[i], p)
+		code := 0
+		for j := 0; j < b.d; j++ {
+			if p[j] > center[j] {
+				code |= 1 << j
+			}
+		}
+		buckets[code] = append(buckets[code], b.idx[i])
+	}
+	// Rewrite idx[lo:hi] so octants are contiguous, then recurse into
+	// the non-empty ones.
+	pos := lo
+	starts := make([]int, nOct+1)
+	for c, bucket := range buckets {
+		starts[c] = pos
+		copy(b.idx[pos:pos+len(bucket)], bucket)
+		pos += len(bucket)
+	}
+	starts[nOct] = hi
+	nonEmpty := 0
+	for _, bucket := range buckets {
+		if len(bucket) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 {
+		// All points in one octant (coincident or degenerate): stop
+		// subdividing to guarantee termination.
+		b.record(n)
+		return n
+	}
+	for c := 0; c < nOct; c++ {
+		clo, chi := starts[c], starts[c]+len(buckets[c])
+		if chi == clo {
+			continue
+		}
+		n.Children = append(n.Children, b.buildOct(clo, chi, depth+1))
+	}
+	b.record(n)
+	return n
+}

@@ -1,0 +1,341 @@
+// Package tree implements Portal's space-partitioning trees (paper
+// Section II-A): the kd-tree used for machine-learning problems
+// (median split along the widest dimension, leaf capacity q) and the
+// octree used for 3-D physics problems such as Barnes-Hut.
+//
+// Every node carries the metadata the multi-tree traversal consumes
+// without touching raw points: bounding box, center, point count, and
+// — for approximation problems — total mass and center of mass.
+package tree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"portal/internal/geom"
+	"portal/internal/storage"
+)
+
+// Node is a tree node covering the contiguous point range [Begin, End)
+// of the tree's reordered Storage.
+type Node struct {
+	// ID is the node's preorder index in its tree, assigned at build
+	// time. Traversals use it to key per-node state (prune bounds,
+	// pending approximation deltas) in flat arrays.
+	ID int
+	// Begin and End delimit the node's points in Tree.Data.
+	Begin, End int
+	// BBox is the tight bounding box of the node's points.
+	BBox geom.Rect
+	// Center is the bounding-box center (the "center data point in a
+	// hyper-rectangle" metadata of Table III).
+	Center []float64
+	// Mass is the total point weight (the count when unweighted) —
+	// the "density of that node" used by ComputeApprox.
+	Mass float64
+	// Centroid is the mass-weighted mean point (Barnes-Hut's center
+	// of mass).
+	Centroid []float64
+	// Children are the child nodes: nil for a leaf, two for a kd-tree
+	// node, and up to 2^d for an octree node.
+	Children []*Node
+	// Depth is the node's depth from the root (root = 0).
+	Depth int
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Count returns the number of points in the node.
+func (n *Node) Count() int { return n.End - n.Begin }
+
+// Tree couples the node hierarchy with the reordered point storage.
+type Tree struct {
+	// Root is the tree root (never nil for a non-empty build).
+	Root *Node
+	// Data is the point storage, reordered so every node's points are
+	// contiguous. Its layout follows the Storage layout rule.
+	Data *storage.Storage
+	// Index maps a reordered position to the point's index in the
+	// original Storage (Index[new] = old).
+	Index []int
+	// Weights are the reordered per-point weights, or nil when the
+	// build was unweighted.
+	Weights []float64
+	// LeafSize is the maximum leaf capacity q the tree was built with.
+	LeafSize int
+
+	// Stats filled during construction.
+	NodeCount int
+	LeafCount int
+	MaxDepth  int
+}
+
+// Dim returns the dimensionality of the tree's points.
+func (t *Tree) Dim() int { return t.Data.Dim() }
+
+// Len returns the number of points in the tree.
+func (t *Tree) Len() int { return t.Data.Len() }
+
+// Options configure tree construction.
+type Options struct {
+	// LeafSize is the maximum number of points per leaf (q > 0). The
+	// default is 32, matching the scaled evaluation setup.
+	LeafSize int
+	// Weights optionally assigns a mass to each point (Barnes-Hut).
+	// When nil every point has mass 1.
+	Weights []float64
+	// Parallel enables parallel subtree construction.
+	Parallel bool
+}
+
+func (o *Options) leafSize() int {
+	if o == nil || o.LeafSize <= 0 {
+		return 32
+	}
+	return o.LeafSize
+}
+
+// DefaultLeafSize is the leaf capacity used when Options.LeafSize is 0.
+const DefaultLeafSize = 32
+
+type builder struct {
+	src     *storage.Storage
+	idx     []int
+	weights []float64
+	leaf    int
+	d       int
+
+	mu        sync.Mutex
+	nodeCount int
+	leafCount int
+	maxDepth  int
+
+	parallel bool
+	sem      chan struct{}
+	wg       sync.WaitGroup
+}
+
+// BuildKD constructs a kd-tree over s using median splits along the
+// widest bounding-box dimension — the strategy the paper's evaluation
+// uses for both Portal and the expert baseline (Section V-B).
+func BuildKD(s *storage.Storage, opts *Options) *Tree {
+	if s.Len() == 0 {
+		panic("tree: cannot build over empty storage")
+	}
+	b := &builder{
+		src:  s,
+		idx:  make([]int, s.Len()),
+		leaf: opts.leafSize(),
+		d:    s.Dim(),
+	}
+	if opts != nil && opts.Weights != nil {
+		if len(opts.Weights) != s.Len() {
+			panic(fmt.Sprintf("tree: %d weights for %d points", len(opts.Weights), s.Len()))
+		}
+		b.weights = opts.Weights
+	}
+	for i := range b.idx {
+		b.idx[i] = i
+	}
+	if opts != nil && opts.Parallel {
+		b.parallel = true
+		b.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	root := b.buildKD(0, s.Len(), 0)
+	b.wg.Wait()
+	return b.finish(root)
+}
+
+// finish reorders the storage/weights by the final index permutation
+// and computes node aggregates bottom-up.
+func (b *builder) finish(root *Node) *Tree {
+	t := &Tree{
+		Root:      root,
+		Data:      b.src.Gather(b.idx),
+		Index:     b.idx,
+		LeafSize:  b.leaf,
+		NodeCount: b.nodeCount,
+		LeafCount: b.leafCount,
+		MaxDepth:  b.maxDepth,
+	}
+	if b.weights != nil {
+		w := make([]float64, len(b.idx))
+		for newPos, old := range b.idx {
+			w[newPos] = b.weights[old]
+		}
+		t.Weights = w
+	}
+	id := 0
+	t.Walk(func(n *Node) {
+		n.ID = id
+		id++
+	})
+	computeAggregates(root, t)
+	return t
+}
+
+// bboxOf computes the tight bounding box of idx[lo:hi].
+func (b *builder) bboxOf(lo, hi int) geom.Rect {
+	r := geom.EmptyRect(b.d)
+	p := make([]float64, b.d)
+	for i := lo; i < hi; i++ {
+		b.src.Point(b.idx[i], p)
+		r.Expand(p)
+	}
+	return r
+}
+
+func (b *builder) record(n *Node) {
+	b.mu.Lock()
+	b.nodeCount++
+	if n.IsLeaf() {
+		b.leafCount++
+	}
+	if n.Depth > b.maxDepth {
+		b.maxDepth = n.Depth
+	}
+	b.mu.Unlock()
+}
+
+func (b *builder) buildKD(lo, hi, depth int) *Node {
+	bbox := b.bboxOf(lo, hi)
+	n := &Node{Begin: lo, End: hi, BBox: bbox, Center: bbox.Center(nil), Depth: depth}
+	count := hi - lo
+	splitDim, width := bbox.WidestDim()
+	if count <= b.leaf || width == 0 {
+		b.record(n)
+		return n
+	}
+	mid := lo + count/2
+	b.selectNth(lo, hi, mid, splitDim)
+	n.Children = make([]*Node, 2)
+	build := func(slot, clo, chi int) {
+		n.Children[slot] = b.buildKD(clo, chi, depth+1)
+	}
+	if b.parallel && count > 4096 {
+		// Task parallelism over subtree construction, bounded by the
+		// semaphore so goroutine creation stops once cores saturate.
+		select {
+		case b.sem <- struct{}{}:
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				build(0, lo, mid)
+				<-b.sem
+			}()
+			build(1, mid, hi)
+		default:
+			build(0, lo, mid)
+			build(1, mid, hi)
+		}
+	} else {
+		build(0, lo, mid)
+		build(1, mid, hi)
+	}
+	b.record(n)
+	return n
+}
+
+// selectNth partially sorts idx[lo:hi] so position nth holds the
+// element that would be there in full sorted order by the splitDim
+// coordinate (Hoare quickselect with median-of-three pivots).
+func (b *builder) selectNth(lo, hi, nth, dim int) {
+	key := func(i int) float64 { return b.src.At(b.idx[i], dim) }
+	for hi-lo > 1 {
+		// Median-of-three pivot.
+		mid := lo + (hi-lo)/2
+		if key(mid) < key(lo) {
+			b.idx[mid], b.idx[lo] = b.idx[lo], b.idx[mid]
+		}
+		if key(hi-1) < key(lo) {
+			b.idx[hi-1], b.idx[lo] = b.idx[lo], b.idx[hi-1]
+		}
+		if key(hi-1) < key(mid) {
+			b.idx[hi-1], b.idx[mid] = b.idx[mid], b.idx[hi-1]
+		}
+		pivot := key(mid)
+		i, j := lo, hi-1
+		for i <= j {
+			for key(i) < pivot {
+				i++
+			}
+			for key(j) > pivot {
+				j--
+			}
+			if i <= j {
+				b.idx[i], b.idx[j] = b.idx[j], b.idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			hi = j + 1
+		case nth >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// computeAggregates fills Mass and Centroid bottom-up.
+func computeAggregates(n *Node, t *Tree) {
+	d := t.Dim()
+	n.Centroid = make([]float64, d)
+	if n.IsLeaf() {
+		p := make([]float64, d)
+		var mass float64
+		for i := n.Begin; i < n.End; i++ {
+			w := 1.0
+			if t.Weights != nil {
+				w = t.Weights[i]
+			}
+			t.Data.Point(i, p)
+			for j := 0; j < d; j++ {
+				n.Centroid[j] += w * p[j]
+			}
+			mass += w
+		}
+		n.Mass = mass
+	} else {
+		for _, c := range n.Children {
+			computeAggregates(c, t)
+			n.Mass += c.Mass
+			for j := 0; j < d; j++ {
+				n.Centroid[j] += c.Mass * c.Centroid[j]
+			}
+		}
+	}
+	if n.Mass > 0 {
+		inv := 1 / n.Mass
+		for j := 0; j < d; j++ {
+			n.Centroid[j] *= inv
+		}
+	}
+}
+
+// Walk visits every node in pre-order.
+func (t *Tree) Walk(f func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		f(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// Leaves returns all leaf nodes in left-to-right order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	})
+	return out
+}

@@ -1,0 +1,176 @@
+// Package portal is a Go implementation of Portal, the
+// domain-specific language and compiler for parallel generalized
+// N-body problems (Aghababaie Beni, Ramanan, Chandramowlishwaran,
+// IPPS 2019). Problems are written as chains of (operator, dataset,
+// kernel) layers mirroring their mathematical formulation; the
+// compiler selects an asymptotically optimal tree-based algorithm,
+// generates prune/approximate conditions, optimizes the kernel IR
+// (flattening, Mahalanobis numerical optimization, strength
+// reduction), and executes a parallel multi-tree traversal.
+//
+// The nearest-neighbor problem of the paper's code 1:
+//
+//	query, _ := portal.StorageFromCSV("query.csv")
+//	ref, _ := portal.StorageFromCSV("reference.csv")
+//	expr := portal.NewExpr()
+//	expr.AddLayer(portal.FORALL, query, nil)
+//	expr.AddLayer(portal.ARGMIN, ref, portal.Euclidean())
+//	out, err := expr.Execute()
+//	// out.Args[i] is query i's nearest reference index.
+package portal
+
+import (
+	"portal/internal/codegen"
+	"portal/internal/engine"
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/storage"
+)
+
+// Storage is the primary user-facing dataset container (paper Section
+// III-B). Portal chooses column-major layout for d <= 4 and row-major
+// otherwise to enable efficient vectorized base cases.
+type Storage = storage.Storage
+
+// NewStorage builds a Storage from in-memory rows.
+func NewStorage(rows [][]float64) (*Storage, error) { return storage.FromRows(rows) }
+
+// MustNewStorage is NewStorage panicking on error.
+func MustNewStorage(rows [][]float64) *Storage { return storage.MustFromRows(rows) }
+
+// StorageFromCSV loads a Storage from a CSV file, mirroring
+// `Storage query("query_file.csv")`.
+func StorageFromCSV(path string) (*Storage, error) { return storage.FromCSV(path) }
+
+// Op is a Portal reduction operator (Table I).
+type Op = lang.Op
+
+// The Portal operators.
+const (
+	FORALL   = lang.FORALL
+	SUM      = lang.SUM
+	PROD     = lang.PROD
+	ARGMIN   = lang.ARGMIN
+	ARGMAX   = lang.ARGMAX
+	MIN      = lang.MIN
+	MAX      = lang.MAX
+	UNION    = lang.UNION
+	UNIONARG = lang.UNIONARG
+	KARGMIN  = lang.KARGMIN
+	KARGMAX  = lang.KARGMAX
+	KMIN     = lang.KMIN
+	KMAX     = lang.KMAX
+)
+
+// Kernel is a layer's kernel/modifying function.
+type Kernel = expr.Kernel
+
+// Pre-defined distance metrics (paper code 2).
+
+// Euclidean returns the PortalFunc::EUCLIDEAN kernel.
+func Euclidean() *Kernel { return expr.NewDistanceKernel(geom.Euclidean) }
+
+// SqEuclidean returns the PortalFunc::SQREUCDIST kernel.
+func SqEuclidean() *Kernel { return expr.NewDistanceKernel(geom.SqEuclidean) }
+
+// Manhattan returns the PortalFunc::MANHATTAN kernel.
+func Manhattan() *Kernel { return expr.NewDistanceKernel(geom.Manhattan) }
+
+// Chebyshev returns the PortalFunc::CHEBYSHEV kernel.
+func Chebyshev() *Kernel { return expr.NewDistanceKernel(geom.Chebyshev) }
+
+// Gaussian returns the Gaussian kernel exp(-d²/2σ²) used by KDE.
+func Gaussian(sigma float64) *Kernel { return expr.NewGaussianKernel(sigma) }
+
+// Range returns the window indicator I(lo < d < hi) used by range
+// search.
+func Range(lo, hi float64) *Kernel { return expr.NewRangeKernel(lo, hi) }
+
+// Threshold returns the indicator I(d < r) used by 2-point
+// correlation.
+func Threshold(r float64) *Kernel { return expr.NewThresholdKernel(r) }
+
+// Var declares a kernel vector variable (paper code 3).
+type Var = expr.Var
+
+// NewVar mirrors `Var q;`.
+func NewVar(name string) Var { return expr.NewVar(name) }
+
+// UserKernel normalizes a user-defined vector expression such as
+// SqrtV(PowV(SubV(q,r),2)) into a compilable kernel (paper code 3).
+func UserKernel(v expr.VExpr) (*Kernel, error) { return expr.Normalize(v) }
+
+// Vector expression builders for user-defined kernels.
+var (
+	SubV    = expr.SubV
+	PowV    = expr.PowV
+	SqrtV   = expr.SqrtV
+	AbsSumV = expr.AbsSumV
+	MaxAbsV = expr.MaxAbsV
+	ScaleV  = expr.ScaleV
+	ExpV    = expr.ExpV
+)
+
+// Output is the result of executing a PortalExpr, in original dataset
+// order.
+type Output = codegen.Output
+
+// Config tunes execution: tree leaf size, approximation threshold τ,
+// parallelism, and backend options.
+type Config = engine.Config
+
+// Expr is the main object holding a problem definition (PortalExpr in
+// the paper). Layers are added outermost first.
+type Expr struct {
+	spec *lang.PortalExpr
+	cfg  Config
+	out  *Output
+}
+
+// NewExpr creates an empty problem definition.
+func NewExpr() *Expr {
+	return &Expr{spec: &lang.PortalExpr{}, cfg: Config{Tau: 1e-6}}
+}
+
+// AddLayer appends a layer (operator, dataset, kernel). The kernel is
+// required on the innermost layer and nil elsewhere.
+func (e *Expr) AddLayer(op Op, data *Storage, kernel *Kernel) *Expr {
+	e.spec.AddLayer(op, data, kernel)
+	return e
+}
+
+// AddLayerK appends a layer whose operator takes a reduction length,
+// e.g. (PortalOp::KARGMIN, k).
+func (e *Expr) AddLayerK(op Op, k int, data *Storage, kernel *Kernel) *Expr {
+	e.spec.AddLayerK(op, k, data, kernel)
+	return e
+}
+
+// Configure overrides the execution configuration.
+func (e *Expr) Configure(cfg Config) *Expr {
+	e.cfg = cfg
+	return e
+}
+
+// Execute compiles and runs the problem, returning the output
+// (equivalent to expr.execute() followed by expr.getOutput()).
+func (e *Expr) Execute() (*Output, error) {
+	out, err := engine.Run("portal-expr", e.spec, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.out = out
+	return out, nil
+}
+
+// Output returns the result of the last Execute (getOutput() in the
+// paper), or nil before any execution.
+func (e *Expr) Output() *Output { return e.out }
+
+// Validate checks the specification without running it.
+func (e *Expr) Validate() error { return e.spec.Validate() }
+
+// BruteForce executes the O(N²) reference algorithm Portal also
+// generates for correctness checks.
+func (e *Expr) BruteForce() (*Output, error) { return engine.BruteForce(e.spec) }

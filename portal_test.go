@@ -1,0 +1,111 @@
+package portal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartNearestNeighbor(t *testing.T) {
+	query := MustNewStorage([][]float64{{0, 0}, {5, 5}})
+	ref := MustNewStorage([][]float64{{0.2, 0}, {4.9, 5.1}, {100, 100}})
+	e := NewExpr()
+	e.AddLayer(FORALL, query, nil)
+	e.AddLayer(ARGMIN, ref, Euclidean())
+	out, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Args[0] != 0 || out.Args[1] != 1 {
+		t.Fatalf("args = %v", out.Args)
+	}
+	if e.Output() != out {
+		t.Fatal("Output() should return last result")
+	}
+	brute, err := e.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brute.Args[0] != out.Args[0] || brute.Args[1] != out.Args[1] {
+		t.Fatal("brute force disagrees")
+	}
+}
+
+func TestUserDefinedKernel(t *testing.T) {
+	// Portal code 3: Expr EuclidDist = sqrt(pow((q-r),2)).
+	q := NewVar("q")
+	r := NewVar("r")
+	k, err := UserKernel(SqrtV(PowV(SubV(q, r), 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := MustNewStorage([][]float64{{0, 0}})
+	ref := MustNewStorage([][]float64{{3, 4}})
+	e := NewExpr().AddLayer(FORALL, query, nil).AddLayer(MIN, ref, k)
+	out, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Values[0]-5) > 1e-4 {
+		t.Fatalf("min distance %v, want 5", out.Values[0])
+	}
+}
+
+func TestKDEViaPublicAPI(t *testing.T) {
+	ref := MustNewStorage([][]float64{{0}, {0.1}, {-0.1}, {10}})
+	query := MustNewStorage([][]float64{{0}, {10}, {5}})
+	e := NewExpr()
+	e.AddLayer(FORALL, query, nil)
+	e.AddLayer(SUM, ref, Gaussian(0.5))
+	e.Configure(Config{Tau: 1e-9, LeafSize: 2})
+	out, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(out.Values[0] > out.Values[1] && out.Values[1] > out.Values[2]) {
+		t.Fatalf("density ordering wrong: %v", out.Values)
+	}
+}
+
+func TestValidateViaPublicAPI(t *testing.T) {
+	if err := NewExpr().Validate(); err == nil {
+		t.Fatal("empty expr should not validate")
+	}
+}
+
+func TestKNNViaPublicAPI(t *testing.T) {
+	query := MustNewStorage([][]float64{{0, 0}})
+	ref := MustNewStorage([][]float64{{1, 0}, {2, 0}, {3, 0}, {4, 0}})
+	e := NewExpr()
+	e.AddLayer(FORALL, query, nil)
+	e.AddLayerK(KARGMIN, 2, ref, Euclidean())
+	out, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ArgLists[0]) != 2 || out.ArgLists[0][0] != 0 || out.ArgLists[0][1] != 1 {
+		t.Fatalf("2-NN = %v", out.ArgLists[0])
+	}
+}
+
+func TestPredefinedKernels(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if v := Euclidean().Eval(a, b); math.Abs(v-5) > 1e-12 {
+		t.Errorf("euclidean %v", v)
+	}
+	if v := SqEuclidean().Eval(a, b); math.Abs(v-25) > 1e-12 {
+		t.Errorf("sqeuclidean %v", v)
+	}
+	if v := Manhattan().Eval(a, b); math.Abs(v-7) > 1e-12 {
+		t.Errorf("manhattan %v", v)
+	}
+	if v := Chebyshev().Eval(a, b); math.Abs(v-4) > 1e-12 {
+		t.Errorf("chebyshev %v", v)
+	}
+	if v := Threshold(6).Eval(a, b); v != 1 {
+		t.Errorf("threshold %v", v)
+	}
+	if v := Range(6, 7).Eval(a, b); v != 0 {
+		t.Errorf("range %v", v)
+	}
+}
