@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race bench stats
+
+# Tier-1 gate: everything must pass before a change lands.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The traversal and engine are where parallelism lives; run them under
+# the race detector explicitly.
+race:
+	$(GO) test -race ./internal/traverse/... ./internal/engine/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+stats:
+	$(GO) run ./cmd/portalbench -stats -scale 10000

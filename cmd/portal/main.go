@@ -13,6 +13,9 @@
 //	portal -problem bh   -query pos3d.csv [-theta 0.5] [-eps 0.05]
 //
 // Every problem prints one result row per line; -o writes CSV instead.
+// Add -stats to print traversal statistics (prunes, approximations,
+// base-case pairs, kernel evaluations, phase timings) to stderr, or
+// -stats-json FILE to capture them as JSON.
 package main
 
 import (
@@ -22,7 +25,10 @@ import (
 	"os"
 	"strconv"
 
+	"encoding/json"
+
 	"portal/internal/problems"
+	"portal/internal/stats"
 	"portal/internal/storage"
 	"portal/nbody"
 )
@@ -42,6 +48,8 @@ func main() {
 	eps := flag.Float64("eps", 0.05, "Barnes-Hut softening")
 	leaf := flag.Int("leaf", 32, "tree leaf size q")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
+	statsFlag := flag.Bool("stats", false, "print traversal statistics to stderr after the run")
+	statsJSON := flag.String("stats-json", "", "write traversal statistics as JSON to this file ('-' for stderr)")
 	flag.Parse()
 
 	if *problem == "" || *queryPath == "" {
@@ -57,6 +65,11 @@ func main() {
 		fatal(err)
 	}
 	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Tau: *tau}
+	var sink *stats.Report
+	if *statsFlag || *statsJSON != "" {
+		sink = &stats.Report{}
+		cfg.StatsSink = sink
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {
@@ -133,6 +146,26 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "portal: unknown problem %q\n", *problem)
 		os.Exit(2)
+	}
+
+	if sink != nil {
+		if sink.Rounds == 0 {
+			fmt.Fprintf(os.Stderr, "portal: no traversal statistics collected for %q\n", *problem)
+			return
+		}
+		if *statsFlag {
+			fmt.Fprintln(os.Stderr, sink.String())
+		}
+		if *statsJSON != "" {
+			b, err := json.MarshalIndent(sink, "", "  ")
+			fatal(err)
+			b = append(b, '\n')
+			if *statsJSON == "-" {
+				os.Stderr.Write(b)
+			} else {
+				fatal(os.WriteFile(*statsJSON, b, 0o644))
+			}
+		}
 	}
 }
 

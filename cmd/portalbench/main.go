@@ -7,6 +7,7 @@
 //	portalbench -experiment table4          # Portal vs expert (Table IV)
 //	portalbench -experiment table4-loc      # lines-of-code comparison
 //	portalbench -experiment table5          # Portal vs libraries (Table V)
+//	portalbench -stats [-scale N]           # traversal statistics (JSON on stdout)
 //	portalbench -experiment all [-scale N] [-seq] [-reps R]
 package main
 
@@ -21,12 +22,15 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
 	reps := flag.Int("reps", 1, "repetitions per measurement (min kept)")
 	leaf := flag.Int("leaf", 32, "tree leaf size q")
+	statsFlag := flag.Bool("stats", false,
+		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
+	jsonPath := flag.String("json", "", "with -stats, also write the JSON array to this file")
 	flag.Parse()
 
 	o := bench.Options{
@@ -35,6 +39,23 @@ func main() {
 		Parallel: !*seq,
 		LeafSize: *leaf,
 		Reps:     *reps,
+	}
+
+	if *statsFlag || *experiment == "stats" {
+		reports := bench.StatsReports(o, os.Stderr)
+		b, err := bench.StatsJSON(reports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "portalbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		if *jsonPath != "" {
+			if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "portalbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	var t4, t5 []bench.Row

@@ -1,8 +1,6 @@
 package codegen
 
 import (
-	"sync/atomic"
-
 	"portal/internal/fastmath"
 	"portal/internal/geom"
 	"portal/internal/lang"
@@ -24,9 +22,10 @@ import (
 // BaseCase performs the direct point-to-point computation for a leaf
 // pair (Algorithm 1, line 4).
 func (r *Run) BaseCase(qn, rn *tree.Node) {
-	if !r.Ex.Opts.NoStats {
-		atomic.AddInt64(&r.stats.BaseCases, 1)
-	}
+	// Every specialized loop evaluates the kernel exactly once per
+	// point pair; one plain multiply-add per leaf pair keeps the count
+	// without touching the inner loops.
+	r.kernelEvals += int64(qn.Count()) * int64(rn.Count())
 	if r.Ex.Opts.ForceInterp {
 		r.interpBaseCase(qn, rn)
 	} else if r.evalD2 != nil {

@@ -3,7 +3,6 @@ package codegen
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"portal/internal/expr"
 	"portal/internal/fastmath"
@@ -11,18 +10,16 @@ import (
 	"portal/internal/lang"
 	"portal/internal/linalg"
 	"portal/internal/prune"
+	"portal/internal/stats"
 	"portal/internal/traverse"
 	"portal/internal/tree"
 )
 
-// Stats counts traversal events. Counters are atomic so parallel
-// traversals can share one Stats.
-type Stats struct {
-	BaseCases int64
-	Prunes    int64
-	Approxes  int64
-	Visits    int64
-}
+// Stats is the traversal event record. It is the traversal layer's
+// TraversalStats: decision counters (Prunes/Approxes/Visits/BaseCases)
+// are recorded by the traversal itself, while the backend contributes
+// KernelEvals through the traverse.StatsReporter hook.
+type Stats = stats.TraversalStats
 
 // Output is the problem result, indexed by the *original* dataset
 // order (tree reordering is undone) with reference indices likewise
@@ -42,8 +39,13 @@ type Output struct {
 	// (SUM/MIN/MAX outer); HasScalar marks it valid.
 	Scalar    float64
 	HasScalar bool
-	// Stats reports the traversal behaviour.
+	// Stats reports the traversal behaviour, as collected by the
+	// traversal into TraversalStats() (zero when the caller did not
+	// collect or Opts.NoStats is set).
 	Stats Stats
+	// Report, when the engine is asked to collect statistics, carries
+	// the full observability record including phase timings.
+	Report *stats.Report
 }
 
 // Run is an Executable bound to a (query tree, reference tree) pair:
@@ -67,6 +69,10 @@ type Run struct {
 	pendingRanges [][][2]int
 
 	stats *Stats
+	// kernelEvals counts kernel evaluations with plain increments —
+	// each fork owns its own counter (zeroed in Fork) and folds it into
+	// the owning task's TraversalStats via FlushStats.
+	kernelEvals int64
 
 	// Per-worker scratch (Fork clones these).
 	qbuf, rbuf []float64
@@ -243,10 +249,29 @@ func (r *Run) Fork() traverse.Rule {
 	c := *r
 	c.qbuf = make([]float64, r.Q.Dim())
 	c.rbuf = make([]float64, r.R.Dim())
+	c.kernelEvals = 0 // each task counts only its own evaluations
 	if r.mahal != nil {
 		c.mahal = r.mahal.Clone()
 	}
 	return &c
+}
+
+// TraversalStats returns the accumulator the traversal should collect
+// into — pass it to traverse.RunStats or traverse.Options.Stats, and
+// Finalize will surface it on Output.Stats. Returns nil (collection
+// off) when Opts.NoStats is set.
+func (r *Run) TraversalStats() *Stats {
+	if r.Ex.Opts.NoStats {
+		return nil
+	}
+	return r.stats
+}
+
+// FlushStats implements traverse.StatsReporter: fold this fork's
+// kernel-evaluation count into the owning task's statistics.
+func (r *Run) FlushStats(st *stats.TraversalStats) {
+	st.KernelEvals += r.kernelEvals
+	r.kernelEvals = 0
 }
 
 // PruneApprox evaluates the generated prune/approximate condition for
@@ -257,23 +282,12 @@ func (r *Run) PruneApprox(qn, rn *tree.Node) prune.Decision {
 	if r.NodeBound != nil {
 		qBound = r.NodeBound[qn.ID]
 	}
-	var d prune.Decision
+	// Decision counting happens in the traversal layer (which sees the
+	// returned Decision); the backend only contributes KernelEvals.
 	if r.Ex.decide != nil {
-		d = r.Ex.decide(qn, rn, qBound)
-	} else {
-		d = r.Ex.Rule.Decide(qn.BBox, rn.BBox, qBound)
+		return r.Ex.decide(qn, rn, qBound)
 	}
-	if !r.Ex.Opts.NoStats {
-		switch d {
-		case prune.Prune:
-			atomic.AddInt64(&r.stats.Prunes, 1)
-		case prune.Approx:
-			atomic.AddInt64(&r.stats.Approxes, 1)
-		default:
-			atomic.AddInt64(&r.stats.Visits, 1)
-		}
-	}
-	return d
+	return r.Ex.Rule.Decide(qn.BBox, rn.BBox, qBound)
 }
 
 // ComputeApprox applies the approximation for the pair (Algorithm 1,
@@ -284,6 +298,7 @@ func (r *Run) ComputeApprox(qn, rn *tree.Node) {
 		// Section II-C: replace the computation with the center
 		// contribution of the node multiplied by its density. We use
 		// the mass-weighted centroid as the center.
+		r.kernelEvals++ // one centroid evaluation replaces the pair block
 		var k float64
 		if r.evalD2 != nil {
 			k = r.evalD2(fastmath.Hypot2(qn.Centroid, rn.Centroid))

@@ -41,7 +41,7 @@ func fullRun(t *testing.T, spec *lang.PortalExpr, tau float64, opts Options) *Ou
 	qt := tree.BuildKD(spec.Outer().Data, &tree.Options{LeafSize: 8})
 	rt := tree.BuildKD(spec.Inner().Data, &tree.Options{LeafSize: 8})
 	run := ex.Bind(qt, rt)
-	traverse.Run(qt, rt, run)
+	traverse.RunStats(qt, rt, run, run.TraversalStats())
 	return run.Finalize()
 }
 
@@ -132,7 +132,7 @@ func TestMahalBaseCase(t *testing.T) {
 	qt := tree.BuildKD(q, &tree.Options{LeafSize: 8})
 	rt := tree.BuildKD(r, &tree.Options{LeafSize: 8})
 	run := ex.Bind(qt, rt)
-	traverse.Run(qt, rt, run)
+	traverse.RunStats(qt, rt, run, run.TraversalStats())
 	out := run.Finalize()
 	// Identity covariance ⇒ equals Euclidean Gaussian exp(-d²/2).
 	qb := make([]float64, d)

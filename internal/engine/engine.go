@@ -11,6 +11,8 @@ package engine
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"portal/internal/codegen"
 	"portal/internal/expr"
@@ -19,6 +21,7 @@ import (
 	"portal/internal/lower"
 	"portal/internal/passes"
 	"portal/internal/prune"
+	"portal/internal/stats"
 	"portal/internal/traverse"
 	"portal/internal/tree"
 )
@@ -50,6 +53,31 @@ type Config struct {
 	Codegen codegen.Options
 	// Weights optionally assigns reference point masses (Barnes-Hut).
 	Weights []float64
+	// CollectStats attaches a full observability Report (traversal
+	// counters plus phase timings) to the Output. Counter collection on
+	// Output.Stats happens whenever Codegen.NoStats is unset; this knob
+	// additionally builds the Report.
+	CollectStats bool
+	// StatsSink, when non-nil, receives (via Merge) the Report of every
+	// execution run under this config — the way iterative problems
+	// (MST, EM) and the problem wrappers accumulate per-round stats
+	// without changing their own signatures. Setting it implies
+	// CollectStats.
+	StatsSink *stats.Report
+}
+
+func (c Config) collectStats() bool { return c.CollectStats || c.StatsSink != nil }
+
+// resolvedWorkers reports the worker count the traversal will actually
+// use under this config.
+func (c Config) resolvedWorkers() int {
+	if !c.Parallel {
+		return 1
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) codegenOpts() codegen.Options { return c.Codegen }
@@ -130,20 +158,54 @@ func (p *Problem) BuildTrees(cfg Config) (qt, rt *tree.Tree) {
 // Execute builds trees and runs the traversal, returning the output
 // in original dataset order.
 func (p *Problem) Execute(cfg Config) (*codegen.Output, error) {
+	start := time.Now()
 	qt, rt := p.BuildTrees(cfg)
-	return p.ExecuteOn(qt, rt, cfg)
+	return p.executeOn(qt, rt, cfg, time.Since(start))
 }
 
 // ExecuteOn runs the traversal over pre-built trees (iterative
 // problems such as MST and EM rebuild state, not trees, each round).
+// The tree-build phase of any attached Report is zero.
 func (p *Problem) ExecuteOn(qt, rt *tree.Tree, cfg Config) (*codegen.Output, error) {
+	return p.executeOn(qt, rt, cfg, 0)
+}
+
+func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duration) (*codegen.Output, error) {
 	run := p.Ex.Bind(qt, rt)
+	st := run.TraversalStats()
+	start := time.Now()
 	if cfg.Parallel {
-		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: cfg.Workers})
+		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: cfg.Workers, Stats: st})
 	} else {
-		traverse.Run(qt, rt, run)
+		traverse.RunStats(qt, rt, run, st)
 	}
-	return run.Finalize(), nil
+	traverseDur := time.Since(start)
+	start = time.Now()
+	out := run.Finalize()
+	if cfg.collectStats() {
+		rep := &stats.Report{
+			Problem:    p.Plan.Name,
+			Parallel:   cfg.Parallel,
+			Workers:    cfg.resolvedWorkers(),
+			QueryN:     int64(qt.Len()),
+			RefN:       int64(rt.Len()),
+			Rounds:     1,
+			TotalPairs: int64(qt.Len()) * int64(rt.Len()),
+			Phases: stats.Phases{
+				TreeBuild: buildDur,
+				Traversal: traverseDur,
+				Finalize:  time.Since(start),
+			},
+		}
+		if st != nil {
+			rep.Traversal = *st
+		}
+		out.Report = rep
+		if cfg.StatsSink != nil {
+			cfg.StatsSink.Merge(rep)
+		}
+	}
+	return out, nil
 }
 
 // Rule exposes the generated prune/approximate rule (for reports).

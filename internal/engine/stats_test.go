@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"portal/internal/codegen"
+	"portal/internal/expr"
+	"portal/internal/lang"
+	"portal/internal/stats"
+	"portal/internal/storage"
+)
+
+// The observability layer end-to-end: Config.CollectStats attaches a
+// Report with non-trivial counters and phase timings, Config.StatsSink
+// accumulates, and for pruning-exact problems (window and tau rules,
+// whose decisions don't depend on traversal-order-tightened bounds)
+// the parallel counters equal the sequential ones exactly.
+
+func TestCollectStatsAttachesReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	spec := nnSpec(rng, 400, 400, 3)
+	out, err := Run("nn", spec, Config{LeafSize: 16, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Report
+	if rep == nil {
+		t.Fatal("CollectStats did not attach a Report")
+	}
+	if rep.Problem != "nn" || rep.QueryN != 400 || rep.RefN != 400 || rep.TotalPairs != 160000 {
+		t.Fatalf("report config: %+v", rep)
+	}
+	if rep.Traversal.PrunedPairs == 0 {
+		t.Error("k-NN at d=3 must prune some pairs")
+	}
+	if rep.Traversal.KernelEvals == 0 || rep.Traversal.BaseCasePairs == 0 {
+		t.Errorf("missing base-case accounting: %+v", rep.Traversal)
+	}
+	if rep.Traversal.KernelEvals != rep.Traversal.BaseCasePairs {
+		t.Errorf("pure base-case problem: kernel evals %d != base-case pairs %d",
+			rep.Traversal.KernelEvals, rep.Traversal.BaseCasePairs)
+	}
+	if rep.Phases.Traversal <= 0 {
+		t.Errorf("traversal phase not timed: %+v", rep.Phases)
+	}
+	if rep.PrunedFraction() <= 0 {
+		t.Errorf("pruned fraction %v, want > 0", rep.PrunedFraction())
+	}
+	// Output.Stats must agree with the report's counters.
+	if out.Stats.Prunes != rep.Traversal.Prunes || out.Stats.BaseCases != rep.Traversal.BaseCases {
+		t.Errorf("Output.Stats %+v diverges from Report %+v", out.Stats, rep.Traversal)
+	}
+}
+
+// For pruning-exact problems the parallel traversal must make exactly
+// the sequential decisions: same prunes, approxes, base-case pairs, and
+// kernel evaluations.
+func TestStatsSequentialEqualsParallelPruningExact(t *testing.T) {
+	cases := []struct {
+		name string
+		spec func(rng *rand.Rand) *lang.PortalExpr
+		tau  float64
+	}{
+		{name: "2pc", spec: func(rng *rand.Rand) *lang.PortalExpr {
+			pts := randRows(rng, 500, 3, 3)
+			return (&lang.PortalExpr{}).
+				AddLayer(lang.SUM, storage.MustFromRows(pts), nil).
+				AddLayer(lang.SUM, storage.MustFromRows(pts), expr.NewThresholdKernel(4))
+		}},
+		{name: "kde", tau: 1e-3, spec: func(rng *rand.Rand) *lang.PortalExpr {
+			q := storage.MustFromRows(randRows(rng, 500, 3, 2))
+			r := storage.MustFromRows(randRows(rng, 500, 3, 2))
+			return (&lang.PortalExpr{}).
+				AddLayer(lang.FORALL, q, nil).
+				AddLayer(lang.SUM, r, expr.NewGaussianKernel(1.0))
+		}},
+		{name: "rs", spec: func(rng *rand.Rand) *lang.PortalExpr {
+			q := storage.MustFromRows(randRows(rng, 500, 3, 3))
+			r := storage.MustFromRows(randRows(rng, 500, 3, 3))
+			return (&lang.PortalExpr{}).
+				AddLayer(lang.FORALL, q, nil).
+				AddLayer(lang.UNIONARG, r, expr.NewRangeKernel(1.0, 5.0))
+		}},
+	}
+	for i, tc := range cases {
+		spec := tc.spec(rand.New(rand.NewSource(int64(60 + i))))
+		cfg := Config{LeafSize: 16, Tau: tc.tau, CollectStats: true}
+		seq, err := Run(tc.name, spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcfg := cfg
+		pcfg.Parallel = true
+		pcfg.Workers = 4
+		par, err := Run(tc.name, spec, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, p := seq.Report.Traversal, par.Report.Traversal
+		if s.Prunes != p.Prunes || s.Approxes != p.Approxes || s.Visits != p.Visits ||
+			s.BaseCases != p.BaseCases || s.BaseCasePairs != p.BaseCasePairs ||
+			s.PrunedPairs != p.PrunedPairs || s.ApproxPairs != p.ApproxPairs ||
+			s.KernelEvals != p.KernelEvals {
+			t.Errorf("%s: sequential %+v != parallel %+v", tc.name, s, p)
+		}
+		// 2PC and RS prune outright; KDE eliminates via approximation —
+		// either way the traversal must have removed pairwise work.
+		if s.EliminatedPairs() == 0 {
+			t.Errorf("%s: expected eliminated pairs > 0", tc.name)
+		}
+		if tc.name != "kde" && s.PrunedPairs == 0 {
+			t.Errorf("%s: expected pruned pairs > 0", tc.name)
+		}
+		if p.TasksSpawned == 0 {
+			t.Errorf("%s: parallel run spawned no tasks", tc.name)
+		}
+	}
+}
+
+// StatsSink accumulates across executions, the way iterative problems
+// merge per-round reports.
+func TestStatsSinkAccumulatesRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	spec := nnSpec(rng, 200, 200, 3)
+	p, err := Compile("nn", spec, Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink stats.Report
+	cfg := Config{LeafSize: 16, StatsSink: &sink}
+	for round := 0; round < 3; round++ {
+		if _, err := p.Execute(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.Rounds != 3 {
+		t.Fatalf("sink rounds %d, want 3", sink.Rounds)
+	}
+	if sink.TotalPairs != 3*200*200 {
+		t.Fatalf("sink total pairs %d", sink.TotalPairs)
+	}
+	if sink.Traversal.BaseCasePairs == 0 || sink.Phases.Total() <= 0 {
+		t.Fatalf("sink did not accumulate: %+v", sink)
+	}
+}
+
+// NoStats still produces a Report (phases are always measurable) but
+// with zero counters — and without CollectStats no Report is built.
+func TestStatsKnobInteraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	spec := nnSpec(rng, 100, 100, 3)
+	out, err := Run("nn", spec, Config{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report != nil {
+		t.Error("Report attached without CollectStats")
+	}
+	if out.Stats.BaseCases == 0 {
+		t.Error("default config should still count on Output.Stats")
+	}
+	nk := nnSpec(rand.New(rand.NewSource(74)), 100, 100, 3)
+	out2, err := Run("nn", nk, Config{LeafSize: 16, CollectStats: true,
+		Codegen: codegen.Options{NoStats: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Report == nil {
+		t.Fatal("CollectStats with NoStats should still attach a (counter-free) Report")
+	}
+	if out2.Report.Traversal.BaseCases != 0 {
+		t.Error("NoStats must suppress counters")
+	}
+	if out2.Report.Phases.Traversal <= 0 {
+		t.Error("phases must still be timed under NoStats")
+	}
+}

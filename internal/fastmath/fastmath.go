@@ -12,15 +12,28 @@ package fastmath
 
 import "math"
 
+// invSqrtEdge handles inputs the bit-trick seed cannot: the magic
+// constant assumes a normal, finite float. +Inf's exponent bits make
+// the seeded Newton steps produce Inf·0 = NaN instead of 0; NaN must
+// propagate; and subnormal inputs land the seed around 1.18e154, far
+// outside Newton's convergence basin, so they take the exact path.
+// Returns (result, true) when the edge path applies.
+func invSqrtEdge(x float64) (float64, bool) {
+	if x < 0x1p-1022 || math.IsInf(x, 1) || math.IsNaN(x) {
+		// Covers x <= 0 too: 1/sqrt(0) = +Inf, 1/sqrt(x<0) = NaN,
+		// matching math.Sqrt's domain behaviour.
+		return 1 / math.Sqrt(x), true
+	}
+	return 0, false
+}
+
 // InvSqrt returns an approximation of 1/sqrt(x) using the bit-level
 // magic-constant seed followed by two Newton-Raphson refinement steps.
-// For x <= 0 it returns +Inf (matching 1/sqrt(0)) or NaN for x < 0.
+// Edge cases follow 1/math.Sqrt exactly: x = 0 → +Inf, x < 0 or NaN →
+// NaN, +Inf → 0; subnormal x falls back to the exact computation.
 func InvSqrt(x float64) float64 {
-	if x <= 0 {
-		if x == 0 {
-			return math.Inf(1)
-		}
-		return math.NaN()
+	if r, ok := invSqrtEdge(x); ok {
+		return r
 	}
 	i := math.Float64bits(x)
 	// 64-bit magic constant (0x5FE6EB50C7B537A9), the double-precision
@@ -37,11 +50,8 @@ func InvSqrt(x float64) float64 {
 // bound (<0.18%) matches the figure quoted in the paper. It is the
 // cheapest knob exposed to approximation problems.
 func InvSqrtOneStep(x float64) float64 {
-	if x <= 0 {
-		if x == 0 {
-			return math.Inf(1)
-		}
-		return math.NaN()
+	if r, ok := invSqrtEdge(x); ok {
+		return r
 	}
 	i := math.Float64bits(x)
 	i = 0x5FE6EB50C7B537A9 - (i >> 1)

@@ -45,18 +45,68 @@ func TestInvSqrtOneStepPaperBound(t *testing.T) {
 	}
 }
 
+// Both variants must match 1/math.Sqrt exactly on the full IEEE edge
+// set: zero, negatives, ±Inf, NaN — the bit-trick seed mangles the
+// non-finite exponents, so these go through the guarded path.
 func TestInvSqrtEdgeCases(t *testing.T) {
-	if !math.IsInf(InvSqrt(0), 1) {
-		t.Error("InvSqrt(0) should be +Inf")
+	for name, f := range map[string]func(float64) float64{
+		"InvSqrt": InvSqrt, "InvSqrtOneStep": InvSqrtOneStep,
+	} {
+		if !math.IsInf(f(0), 1) {
+			t.Errorf("%s(0) should be +Inf", name)
+		}
+		if !math.IsNaN(f(-1)) {
+			t.Errorf("%s(-1) should be NaN", name)
+		}
+		if !math.IsNaN(f(math.Inf(-1))) {
+			t.Errorf("%s(-Inf) should be NaN", name)
+		}
+		if got := f(math.Inf(1)); got != 0 {
+			t.Errorf("%s(+Inf) = %v, want 0", name, got)
+		}
+		if !math.IsNaN(f(math.NaN())) {
+			t.Errorf("%s(NaN) should be NaN", name)
+		}
 	}
-	if !math.IsNaN(InvSqrt(-1)) {
-		t.Error("InvSqrt(-1) should be NaN")
+}
+
+// Subnormal inputs are outside the Newton convergence basin of the
+// magic-constant seed; they must take the exact fallback and still be
+// accurate. math.MaxFloat64 stays on the fast path and must meet the
+// normal error bound.
+func TestInvSqrtExtremeMagnitudes(t *testing.T) {
+	extremes := []float64{
+		5e-324,          // smallest subnormal
+		1e-310,          // mid-range subnormal
+		0x1p-1022,       // smallest normal (fast path boundary)
+		math.MaxFloat64, // largest finite
+		0.5 * math.MaxFloat64,
 	}
-	if !math.IsInf(InvSqrtOneStep(0), 1) {
-		t.Error("InvSqrtOneStep(0) should be +Inf")
+	for _, x := range extremes {
+		want := 1 / math.Sqrt(x)
+		if e := relErr(InvSqrt(x), want); e > 5e-6 {
+			t.Errorf("InvSqrt(%g) rel err %v", x, e)
+		}
+		if e := relErr(InvSqrtOneStep(x), want); e > 0.0018 {
+			t.Errorf("InvSqrtOneStep(%g) rel err %v", x, e)
+		}
 	}
-	if !math.IsNaN(InvSqrtOneStep(-2)) {
-		t.Error("InvSqrtOneStep(-2) should be NaN")
+}
+
+// Property form of the same: denormal inputs drawn across the whole
+// subnormal range stay within the two-step error bound.
+func TestInvSqrtDenormalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// A random subnormal: uniform over the raw significand range.
+		x := math.Float64frombits(uint64(r.Int63n(1 << 52)))
+		if x == 0 {
+			return true
+		}
+		return relErr(InvSqrt(x), 1/math.Sqrt(x)) < 5e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
 	}
 }
 

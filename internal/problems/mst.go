@@ -2,10 +2,13 @@ package problems
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"time"
 
 	"portal/internal/fastmath"
 	"portal/internal/prune"
+	"portal/internal/stats"
 	"portal/internal/storage"
 	"portal/internal/traverse"
 	"portal/internal/tree"
@@ -31,8 +34,10 @@ func MST(data *storage.Storage, cfg Config) ([]MSTEdge, float64, error) {
 	if n == 0 {
 		return nil, 0, nil
 	}
+	start := time.Now()
 	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel}
 	t := tree.BuildKD(data, opts)
+	buildDur := time.Since(start)
 
 	uf := newUnionFind(n)
 	edges := make([]MSTEdge, 0, n-1)
@@ -59,10 +64,33 @@ func MST(data *storage.Storage, cfg Config) ([]MSTEdge, float64, error) {
 			r.bnd[i] = math.Inf(1)
 		}
 		r.annotateComponents(t.Root)
+		var st *stats.TraversalStats
+		if cfg.CollectStats || cfg.StatsSink != nil {
+			st = &stats.TraversalStats{}
+		}
+		roundStart := time.Now()
 		if cfg.Parallel {
-			traverse.RunParallel(t, t, r, traverse.Options{Workers: cfg.Workers})
+			traverse.RunParallel(t, t, r, traverse.Options{Workers: cfg.Workers, Stats: st})
 		} else {
-			traverse.Run(t, t, r)
+			traverse.RunStats(t, t, r, st)
+		}
+		if cfg.StatsSink != nil {
+			workers := 1
+			if cfg.Parallel {
+				if workers = cfg.Workers; workers <= 0 {
+					workers = runtime.GOMAXPROCS(0)
+				}
+			}
+			// One Report per Borůvka round: each round re-traverses the
+			// full pair space, so TotalPairs accumulates n² per round.
+			cfg.StatsSink.Merge(&stats.Report{
+				Problem: "euclidean MST", Parallel: cfg.Parallel, Workers: workers,
+				QueryN: int64(n), RefN: int64(n), Rounds: 1,
+				TotalPairs: int64(n) * int64(n),
+				Traversal:  *st,
+				Phases:     stats.Phases{TreeBuild: buildDur, Traversal: time.Since(roundStart)},
+			})
+			buildDur = 0 // the tree is built once; charge it to round 1
 		}
 		// Gather the minimum outgoing edge per component.
 		compBest := map[int]MSTEdge{}

@@ -1,7 +1,10 @@
 package problems
 
 import (
+	"time"
+
 	"portal/internal/prune"
+	"portal/internal/stats"
 	"portal/internal/storage"
 	"portal/internal/traverse"
 	"portal/internal/tree"
@@ -23,9 +26,26 @@ import (
 // pairwise distances are all below r (self-indices included, matching
 // the ordered-pair convention of TwoPointCorrelation).
 func ThreePointCorrelation(data *storage.Storage, radius float64, cfg Config) (float64, error) {
+	start := time.Now()
 	t := tree.BuildKD(data, &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel})
+	buildDur := time.Since(start)
 	rule := &threePointRule{t: t, r2: radius * radius}
-	traverse.RunMulti([]*tree.Tree{t, t, t}, rule)
+	var st *stats.TraversalStats
+	if cfg.CollectStats || cfg.StatsSink != nil {
+		st = &stats.TraversalStats{}
+	}
+	start = time.Now()
+	traverse.RunMultiStats([]*tree.Tree{t, t, t}, rule, st)
+	if cfg.StatsSink != nil {
+		n := int64(data.Len())
+		cfg.StatsSink.Merge(&stats.Report{
+			Problem: "3pc", QueryN: n, RefN: n, Rounds: 1,
+			// The m=3 traversal's brute-force equivalent is N³ tuples.
+			TotalPairs: n * n * n,
+			Traversal:  *st,
+			Phases:     stats.Phases{TreeBuild: buildDur, Traversal: time.Since(start)},
+		})
+	}
 	return float64(rule.count), nil
 }
 

@@ -1,0 +1,219 @@
+// Package stats is the traversal observability layer: the counters and
+// timers that let every performance claim about the generated
+// prune/approximate conditions (paper Section V) be *observed* instead
+// of inferred. The central claim of the paper is that the generated
+// conditions eliminate most of the O(N·M) pairwise work and that the
+// Section IV-F task-parallel traversal saturates the cores; a
+// TraversalStats records exactly how many node pairs were pruned,
+// approximated, or base-cased (and how many *point* pairs each fate
+// covered), how many kernel evaluations actually ran, and how the task
+// spawner behaved, while Phases breaks wall time into tree build /
+// traversal / finalize.
+//
+// Concurrency model: counters are accumulated lock-free. Each traversal
+// task owns a private TraversalStats (mirroring the Rule.Fork()
+// per-task ownership of query subtrees) and increments it with plain
+// stores; when the task completes, its counters are folded into the
+// run's shared accumulator with MergeAtomic — one atomic add per field
+// per task, never per node pair.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraversalStats counts traversal events. Within one task the fields
+// are plain (single-writer); cross-task aggregation goes through
+// MergeAtomic.
+type TraversalStats struct {
+	// Visits counts node pairs (tuples for multi-way traversals) whose
+	// prune/approximate decision was Visit — the recursion continued or
+	// ran a base case.
+	Visits int64 `json:"visits"`
+	// Prunes counts node pairs discarded outright.
+	Prunes int64 `json:"prunes"`
+	// Approxes counts node pairs replaced by their approximation.
+	Approxes int64 `json:"approxes"`
+	// BaseCases counts leaf-pair direct computations.
+	BaseCases int64 `json:"base_cases"`
+	// BaseCasePairs totals the point pairs enumerated by base cases —
+	// the work the prune/approximate conditions could not eliminate.
+	BaseCasePairs int64 `json:"base_case_pairs"`
+	// PrunedPairs totals the point pairs eliminated by prunes.
+	PrunedPairs int64 `json:"pruned_pairs"`
+	// ApproxPairs totals the point pairs covered by approximations.
+	ApproxPairs int64 `json:"approx_pairs"`
+	// KernelEvals counts kernel evaluations reported by the rule (the
+	// backend's base cases plus one centroid evaluation per
+	// approximation).
+	KernelEvals int64 `json:"kernel_evals"`
+	// TasksSpawned counts tasks forked by the parallel traversal.
+	TasksSpawned int64 `json:"tasks_spawned"`
+	// InlineFallbacks counts spawn points that found the workers
+	// saturated and ran the child inline instead (the paper's switch
+	// from task creation to straight-line execution).
+	InlineFallbacks int64 `json:"inline_fallbacks"`
+	// MaxDepth is the deepest recursion level reached (root = 0).
+	MaxDepth int64 `json:"max_depth"`
+}
+
+// Add folds o into s without synchronization (single-writer contexts).
+func (s *TraversalStats) Add(o *TraversalStats) {
+	s.Visits += o.Visits
+	s.Prunes += o.Prunes
+	s.Approxes += o.Approxes
+	s.BaseCases += o.BaseCases
+	s.BaseCasePairs += o.BaseCasePairs
+	s.PrunedPairs += o.PrunedPairs
+	s.ApproxPairs += o.ApproxPairs
+	s.KernelEvals += o.KernelEvals
+	s.TasksSpawned += o.TasksSpawned
+	s.InlineFallbacks += o.InlineFallbacks
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+}
+
+// MergeAtomic folds s into dst with one atomic add per field, safe to
+// call from concurrently completing tasks.
+func (s *TraversalStats) MergeAtomic(dst *TraversalStats) {
+	atomic.AddInt64(&dst.Visits, s.Visits)
+	atomic.AddInt64(&dst.Prunes, s.Prunes)
+	atomic.AddInt64(&dst.Approxes, s.Approxes)
+	atomic.AddInt64(&dst.BaseCases, s.BaseCases)
+	atomic.AddInt64(&dst.BaseCasePairs, s.BaseCasePairs)
+	atomic.AddInt64(&dst.PrunedPairs, s.PrunedPairs)
+	atomic.AddInt64(&dst.ApproxPairs, s.ApproxPairs)
+	atomic.AddInt64(&dst.KernelEvals, s.KernelEvals)
+	atomic.AddInt64(&dst.TasksSpawned, s.TasksSpawned)
+	atomic.AddInt64(&dst.InlineFallbacks, s.InlineFallbacks)
+	for {
+		cur := atomic.LoadInt64(&dst.MaxDepth)
+		if s.MaxDepth <= cur || atomic.CompareAndSwapInt64(&dst.MaxDepth, cur, s.MaxDepth) {
+			return
+		}
+	}
+}
+
+// Decisions is the total number of prune/approximate evaluations.
+func (s *TraversalStats) Decisions() int64 {
+	return s.Visits + s.Prunes + s.Approxes
+}
+
+// EliminatedPairs is the pairwise work the generated conditions removed
+// (pruned outright or collapsed into an approximation).
+func (s *TraversalStats) EliminatedPairs() int64 {
+	return s.PrunedPairs + s.ApproxPairs
+}
+
+// Phases is the wall-time breakdown of one execution. Durations
+// marshal as integer nanoseconds.
+type Phases struct {
+	TreeBuild time.Duration `json:"tree_build_ns"`
+	Traversal time.Duration `json:"traversal_ns"`
+	Finalize  time.Duration `json:"finalize_ns"`
+}
+
+// Total is the sum of the recorded phases.
+func (p Phases) Total() time.Duration {
+	return p.TreeBuild + p.Traversal + p.Finalize
+}
+
+// Add folds o's durations into p.
+func (p *Phases) Add(o Phases) {
+	p.TreeBuild += o.TreeBuild
+	p.Traversal += o.Traversal
+	p.Finalize += o.Finalize
+}
+
+// Report is the full observability record of one problem execution
+// (or, for iterative problems such as MST and EM, the running
+// aggregate over rounds).
+type Report struct {
+	// Problem is the problem name (the compiler plan's name unless the
+	// caller overrides it).
+	Problem string `json:"problem,omitempty"`
+	// Parallel and Workers record the traversal configuration
+	// (Workers is the resolved cap, never 0).
+	Parallel bool `json:"parallel"`
+	Workers  int  `json:"workers"`
+	// QueryN and RefN are the tree sizes of the last execution.
+	QueryN int64 `json:"query_n"`
+	RefN   int64 `json:"ref_n"`
+	// Rounds counts merged executions (1 for one-shot problems).
+	Rounds int `json:"rounds"`
+	// TotalPairs accumulates QueryN·RefN over rounds — the O(N·M)
+	// work a brute-force evaluation would do.
+	TotalPairs int64 `json:"total_pairs"`
+	// Traversal holds the event counters.
+	Traversal TraversalStats `json:"traversal"`
+	// Phases holds the wall-time breakdown.
+	Phases Phases `json:"phases"`
+}
+
+// Merge folds another execution's report into r; iterative problems
+// call it once per round. Configuration fields take o's values.
+func (r *Report) Merge(o *Report) {
+	if o.Problem != "" && r.Problem == "" {
+		r.Problem = o.Problem
+	}
+	r.Parallel = o.Parallel
+	r.Workers = o.Workers
+	r.QueryN = o.QueryN
+	r.RefN = o.RefN
+	r.Rounds += o.Rounds
+	if o.Rounds == 0 {
+		r.Rounds++
+	}
+	r.TotalPairs += o.TotalPairs
+	r.Traversal.Add(&o.Traversal)
+	r.Phases.Add(o.Phases)
+}
+
+// PrunedFraction is the fraction of all point pairs eliminated without
+// a base case — the headline number behind the paper's Section V
+// speedups. Returns 0 when TotalPairs is unknown.
+func (r *Report) PrunedFraction() float64 {
+	if r.TotalPairs <= 0 {
+		return 0
+	}
+	f := 1 - float64(r.Traversal.BaseCasePairs)/float64(r.TotalPairs)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// JSON renders the report as indented JSON (the machine-readable form
+// the -stats flags emit; see README "Traversal statistics" for the
+// schema).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the human-readable form.
+func (r *Report) String() string {
+	t := &r.Traversal
+	mode := "sequential"
+	if r.Parallel {
+		mode = fmt.Sprintf("parallel w=%d", r.Workers)
+	}
+	name := r.Problem
+	if name == "" {
+		name = "run"
+	}
+	s := fmt.Sprintf("%s: N=%d M=%d %s rounds=%d\n", name, r.QueryN, r.RefN, mode, r.Rounds)
+	s += fmt.Sprintf("  phases: build=%v traverse=%v finalize=%v total=%v\n",
+		r.Phases.TreeBuild.Round(time.Microsecond), r.Phases.Traversal.Round(time.Microsecond),
+		r.Phases.Finalize.Round(time.Microsecond), r.Phases.Total().Round(time.Microsecond))
+	s += fmt.Sprintf("  decisions: %d (visit=%d prune=%d approx=%d) max-depth=%d\n",
+		t.Decisions(), t.Visits, t.Prunes, t.Approxes, t.MaxDepth)
+	s += fmt.Sprintf("  pairs: total=%d base=%d pruned=%d approx=%d (%.2f%% eliminated)\n",
+		r.TotalPairs, t.BaseCasePairs, t.PrunedPairs, t.ApproxPairs, 100*r.PrunedFraction())
+	s += fmt.Sprintf("  kernel evals: %d  base cases: %d  tasks: %d (inline fallbacks: %d)",
+		t.KernelEvals, t.BaseCases, t.TasksSpawned, t.InlineFallbacks)
+	return s
+}

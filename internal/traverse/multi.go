@@ -2,6 +2,7 @@ package traverse
 
 import (
 	"portal/internal/prune"
+	"portal/internal/stats"
 	"portal/internal/tree"
 )
 
@@ -25,23 +26,64 @@ type MultiRule interface {
 	BaseCase(nodes []*tree.Node)
 }
 
+// MultiStatsReporter is the m-way analogue of StatsReporter: rules
+// that track their own per-run counters can fold them into the
+// traversal's statistics when RunMultiStats finishes.
+type MultiStatsReporter interface {
+	FlushStats(st *stats.TraversalStats)
+}
+
 // RunMulti performs the m-way multi-tree traversal over the roots of
 // the given trees.
-func RunMulti(ts []*tree.Tree, rule MultiRule) {
+func RunMulti(ts []*tree.Tree, rule MultiRule) { RunMultiStats(ts, rule, nil) }
+
+// RunMultiStats is RunMulti with statistics collection into st (nil
+// disables collection). Tuple "pair" counters record the cartesian
+// product of the tuple's point counts — the m-way work a prune
+// eliminates or a base case enumerates.
+func RunMultiStats(ts []*tree.Tree, rule MultiRule, st *stats.TraversalStats) {
 	nodes := make([]*tree.Node, len(ts))
 	for i, t := range ts {
 		nodes[i] = t.Root
 	}
-	multiDual(nodes, rule)
+	multiDual(nodes, rule, 0, st)
+	if st != nil {
+		if sr, ok := rule.(MultiStatsReporter); ok {
+			sr.FlushStats(st)
+		}
+	}
 }
 
-func multiDual(nodes []*tree.Node, rule MultiRule) {
+// tupleCount is the m-way point-tuple coverage of a node tuple.
+func tupleCount(nodes []*tree.Node) int64 {
+	prod := int64(1)
+	for _, n := range nodes {
+		prod *= int64(n.Count())
+	}
+	return prod
+}
+
+func multiDual(nodes []*tree.Node, rule MultiRule, depth int, st *stats.TraversalStats) {
+	if st != nil && int64(depth) > st.MaxDepth {
+		st.MaxDepth = int64(depth)
+	}
 	switch rule.PruneApprox(nodes) {
 	case prune.Prune:
+		if st != nil {
+			st.Prunes++
+			st.PrunedPairs += tupleCount(nodes)
+		}
 		return
 	case prune.Approx:
+		if st != nil {
+			st.Approxes++
+			st.ApproxPairs += tupleCount(nodes)
+		}
 		rule.ComputeApprox(nodes)
 		return
+	}
+	if st != nil {
+		st.Visits++
 	}
 	allLeaves := true
 	for _, n := range nodes {
@@ -51,6 +93,10 @@ func multiDual(nodes []*tree.Node, rule MultiRule) {
 		}
 	}
 	if allLeaves {
+		if st != nil {
+			st.BaseCases++
+			st.BaseCasePairs += tupleCount(nodes)
+		}
 		rule.BaseCase(nodes)
 		return
 	}
@@ -67,7 +113,7 @@ func multiDual(nodes []*tree.Node, rule MultiRule) {
 		if i == len(nodes) {
 			next := make([]*tree.Node, len(tuple))
 			copy(next, tuple)
-			multiDual(next, rule)
+			multiDual(next, rule, depth+1, st)
 			return
 		}
 		for _, c := range splits[i] {

@@ -1,0 +1,190 @@
+package traverse
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"portal/internal/prune"
+	"portal/internal/stats"
+	"portal/internal/tree"
+)
+
+// hwmRule tracks a concurrency high-water mark across rule callbacks:
+// every BaseCase holds a "worker busy" token for a short sleep so that
+// oversubscription, if any, is observable.
+type hwmRule struct {
+	cur, max int64
+}
+
+func (h *hwmRule) enter() {
+	c := atomic.AddInt64(&h.cur, 1)
+	for {
+		m := atomic.LoadInt64(&h.max)
+		if c <= m || atomic.CompareAndSwapInt64(&h.max, m, c) {
+			return
+		}
+	}
+}
+func (h *hwmRule) exit() { atomic.AddInt64(&h.cur, -1) }
+
+func (h *hwmRule) PruneApprox(qn, rn *tree.Node) prune.Decision { return prune.Visit }
+func (h *hwmRule) ComputeApprox(qn, rn *tree.Node)              {}
+func (h *hwmRule) BaseCase(qn, rn *tree.Node) {
+	h.enter()
+	time.Sleep(20 * time.Microsecond)
+	h.exit()
+}
+func (h *hwmRule) PostChildren(*tree.Node) {}
+func (h *hwmRule) Fork() Rule              { return h }
+
+// The semaphore fix: Workers=W must never run more than W concurrent
+// rule callbacks. The spawning goroutine counts against the cap, so the
+// semaphore holds W-1 slots — previously W slots yielded W+1 workers.
+func TestParallelPeakConcurrencyAtMostWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := buildTree(rng, 256, 2, 8)
+	r := buildTree(rng, 256, 2, 8)
+	for _, w := range []int{1, 2, 3, 4} {
+		h := &hwmRule{}
+		RunParallel(q, r, h, Options{Workers: w})
+		if h.max > int64(w) {
+			t.Fatalf("Workers=%d: observed %d concurrent workers", w, h.max)
+		}
+		if h.max == 0 {
+			t.Fatalf("Workers=%d: no base case ran", w)
+		}
+	}
+}
+
+// SpawnDepthFor promises "at least 8 tasks per worker"; with a
+// power-of-two leaf count the per-worker share must land in [8, 16).
+func TestSpawnDepthForInvariant(t *testing.T) {
+	for w := 1; w <= 64; w++ {
+		d := SpawnDepthFor(w)
+		leaves := 1 << d
+		if leaves < 8*w {
+			t.Errorf("workers=%d depth=%d: %d task leaves < 8 per worker", w, d, leaves)
+		}
+		if leaves >= 16*w {
+			t.Errorf("workers=%d depth=%d: %d task leaves overshoot (≥16 per worker)", w, d, leaves)
+		}
+	}
+}
+
+// A visit-everything traversal must account for every point pair as
+// base-case work, and a prune-everything traversal must account for it
+// all as pruned at the root.
+func TestStatsCountsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := buildTree(rng, 137, 3, 8)
+	r := buildTree(rng, 211, 3, 16)
+	total := int64(q.Len()) * int64(r.Len())
+
+	c := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	var st stats.TraversalStats
+	RunStats(q, r, c, &st)
+	if st.BaseCasePairs != total {
+		t.Fatalf("BaseCasePairs %d, want %d", st.BaseCasePairs, total)
+	}
+	if st.BaseCases != int64(q.LeafCount*r.LeafCount) {
+		t.Fatalf("BaseCases %d, want %d", st.BaseCases, q.LeafCount*r.LeafCount)
+	}
+	if st.Prunes != 0 || st.Approxes != 0 || st.Visits == 0 || st.MaxDepth == 0 {
+		t.Fatalf("unexpected counters: %+v", st)
+	}
+
+	var pst stats.TraversalStats
+	RunStats(q, r, &pruneAllRule{}, &pst)
+	if pst.Prunes != 1 || pst.PrunedPairs != total || pst.Visits != 0 {
+		t.Fatalf("prune-all stats: %+v", pst)
+	}
+}
+
+// Parallel stats must agree exactly with sequential stats on every
+// decision counter: tasks own disjoint query subtrees, so the parallel
+// traversal makes the same prune/approx/visit decisions in a different
+// order. Only the task-accounting counters may differ.
+func TestStatsSequentialParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := buildTree(rng, 500, 3, 8)
+	r := buildTree(rng, 400, 3, 8)
+
+	c1 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	var seq stats.TraversalStats
+	RunStats(q, r, c1, &seq)
+
+	c2 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	var par stats.TraversalStats
+	RunParallel(q, r, c2, Options{Workers: 4, Stats: &par})
+
+	if seq.Visits != par.Visits || seq.Prunes != par.Prunes || seq.Approxes != par.Approxes ||
+		seq.BaseCases != par.BaseCases || seq.BaseCasePairs != par.BaseCasePairs ||
+		seq.PrunedPairs != par.PrunedPairs || seq.ApproxPairs != par.ApproxPairs ||
+		seq.MaxDepth != par.MaxDepth {
+		t.Fatalf("seq %+v != par %+v", seq, par)
+	}
+	if par.TasksSpawned == 0 {
+		t.Fatal("parallel traversal spawned no tasks")
+	}
+	if seq.TasksSpawned != 0 || seq.InlineFallbacks != 0 {
+		t.Fatalf("sequential traversal must not account tasks: %+v", seq)
+	}
+}
+
+// flushTestRule exercises the StatsReporter hook: each fork counts its
+// own kernel evaluations with plain increments, and FlushStats folds
+// them into the owning task's TraversalStats on completion.
+type flushTestRule struct {
+	evals int64
+}
+
+func (f *flushTestRule) PruneApprox(qn, rn *tree.Node) prune.Decision { return prune.Visit }
+func (f *flushTestRule) ComputeApprox(qn, rn *tree.Node)              {}
+func (f *flushTestRule) BaseCase(qn, rn *tree.Node) {
+	f.evals += int64(qn.Count()) * int64(rn.Count())
+}
+func (f *flushTestRule) PostChildren(*tree.Node) {}
+func (f *flushTestRule) Fork() Rule              { return &flushTestRule{} }
+func (f *flushTestRule) FlushStats(st *stats.TraversalStats) {
+	st.KernelEvals += f.evals
+	f.evals = 0
+}
+
+func TestStatsReporterFlushedPerTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	q := buildTree(rng, 300, 2, 8)
+	r := buildTree(rng, 250, 2, 8)
+	total := int64(q.Len()) * int64(r.Len())
+
+	var seq stats.TraversalStats
+	RunStats(q, r, &flushTestRule{}, &seq)
+	if seq.KernelEvals != total {
+		t.Fatalf("sequential KernelEvals %d, want %d", seq.KernelEvals, total)
+	}
+
+	var par stats.TraversalStats
+	RunParallel(q, r, &flushTestRule{}, Options{Workers: 4, Stats: &par})
+	if par.KernelEvals != total {
+		t.Fatalf("parallel KernelEvals %d, want %d (per-fork counters lost?)", par.KernelEvals, total)
+	}
+}
+
+// RunMultiStats must account the full m-way tuple product.
+func TestStatsMultiTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := buildTree(rng, 60, 2, 8)
+	b := buildTree(rng, 40, 2, 8)
+	c := buildTree(rng, 30, 2, 16)
+	m := &multiCountRule{trees: []*tree.Tree{a, b, c}, perFirst: make([]int64, a.Len())}
+	var st stats.TraversalStats
+	RunMultiStats([]*tree.Tree{a, b, c}, m, &st)
+	want := int64(a.Len()) * int64(b.Len()) * int64(c.Len())
+	if st.BaseCasePairs != want {
+		t.Fatalf("BaseCasePairs %d, want %d", st.BaseCasePairs, want)
+	}
+	if st.Visits == 0 || st.MaxDepth == 0 {
+		t.Fatalf("multi stats: %+v", st)
+	}
+}

@@ -14,6 +14,15 @@
 // until the workers saturate, at which point the remaining recursion
 // runs sequentially (data parallelism inside leaf base cases is the
 // specialized kernels' unrolled loops).
+//
+// Observability: the traversal is also where the prune/approximate
+// decisions are *counted*. Pass a stats.TraversalStats to RunStats (or
+// via Options.Stats for the parallel form) and the traversal records
+// every decision, the point pairs each fate covered, task-spawn
+// behaviour, and recursion depth. Each parallel task accumulates into
+// a private struct — the same per-task ownership discipline as
+// Rule.Fork — and merges it into the shared accumulator once, on task
+// completion, so the hot path stays free of atomics.
 package traverse
 
 import (
@@ -21,6 +30,7 @@ import (
 	"sync"
 
 	"portal/internal/prune"
+	"portal/internal/stats"
 	"portal/internal/tree"
 )
 
@@ -52,23 +62,71 @@ type ChildOrderer interface {
 	SwapRefChildren(qc, a, b *tree.Node) bool
 }
 
+// StatsReporter is an optional Rule capability: when the traversal
+// collects statistics, FlushStats is called once per completed task
+// (on the task's forked rule) and once for the root rule at the end,
+// so rule-level per-task counters — e.g. the backend's kernel
+// evaluation count — fold into the task's TraversalStats before it is
+// merged into the run's accumulator.
+type StatsReporter interface {
+	FlushStats(st *stats.TraversalStats)
+}
+
 // Run performs the sequential multi-tree traversal.
-func Run(q, r *tree.Tree, rule Rule) {
+func Run(q, r *tree.Tree, rule Rule) { RunStats(q, r, rule, nil) }
+
+// RunStats is Run with statistics collection into st (nil disables
+// collection entirely, leaving the hot path counter-free).
+func RunStats(q, r *tree.Tree, rule Rule, st *stats.TraversalStats) {
 	ord, _ := rule.(ChildOrderer)
-	dual(q.Root, r.Root, rule, ord)
+	dual(q.Root, r.Root, rule, ord, 0, st)
+	if st != nil {
+		flushRule(rule, st)
+	}
+}
+
+func flushRule(rule Rule, st *stats.TraversalStats) {
+	if sr, ok := rule.(StatsReporter); ok {
+		sr.FlushStats(st)
+	}
+}
+
+// pairCount is the point-pair coverage of a node pair — the work a
+// prune eliminates, an approximation collapses, or a base case
+// enumerates.
+func pairCount(qn, rn *tree.Node) int64 {
+	return int64(qn.Count()) * int64(rn.Count())
 }
 
 // dual is Algorithm 1. The power-set of child tuples is materialized
 // implicitly by the nested loops over each node's split set.
-func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer) {
+func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, depth int, st *stats.TraversalStats) {
+	if st != nil && int64(depth) > st.MaxDepth {
+		st.MaxDepth = int64(depth)
+	}
 	switch rule.PruneApprox(qn, rn) {
 	case prune.Prune:
+		if st != nil {
+			st.Prunes++
+			st.PrunedPairs += pairCount(qn, rn)
+		}
 		return
 	case prune.Approx:
+		if st != nil {
+			st.Approxes++
+			st.ApproxPairs += pairCount(qn, rn)
+		}
 		rule.ComputeApprox(qn, rn)
 		return
 	}
+	if st != nil {
+		st.Visits++
+	}
 	if qn.IsLeaf() && rn.IsLeaf() {
+		if st != nil {
+			st.BaseCases++
+			st.BaseCasePairs += pairCount(qn, rn)
+		}
 		rule.BaseCase(qn, rn)
 		return
 	}
@@ -76,12 +134,12 @@ func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer) {
 	rsplit := split(rn)
 	for _, qc := range qsplit {
 		if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-			dual(qc, rsplit[1], rule, ord)
-			dual(qc, rsplit[0], rule, ord)
+			dual(qc, rsplit[1], rule, ord, depth+1, st)
+			dual(qc, rsplit[0], rule, ord, depth+1, st)
 			continue
 		}
 		for _, rc := range rsplit {
-			dual(qc, rc, rule, ord)
+			dual(qc, rc, rule, ord, depth+1, st)
 		}
 	}
 	rule.PostChildren(qn)
@@ -98,12 +156,38 @@ func split(n *tree.Node) []*tree.Node {
 
 // Options configure the parallel traversal.
 type Options struct {
-	// Workers caps concurrency; 0 means GOMAXPROCS.
+	// Workers caps concurrency; 0 means GOMAXPROCS. The calling
+	// goroutine counts against the cap: at most Workers goroutines
+	// ever execute rule callbacks concurrently.
 	Workers int
 	// SpawnDepth controls how deep query-side splits keep spawning
-	// tasks; 0 derives it from Workers (enough tasks to saturate with
-	// ~8× oversubscription for load balance).
+	// tasks; 0 derives it from Workers via SpawnDepthFor.
 	SpawnDepth int
+	// Stats, when non-nil, receives the traversal's statistics. Each
+	// task accumulates privately and merges on completion.
+	Stats *stats.TraversalStats
+}
+
+// SpawnDepthFor derives the default task-spawn depth from the worker
+// count: the smallest depth whose 2^depth task-tree leaves give every
+// worker at least 8 tasks for load balancing. Because the leaf count
+// is a power of two, the per-worker task count lands in [8, 16) —
+// "at least 8×", not exactly 8×, for non-power-of-two worker counts.
+func SpawnDepthFor(workers int) int {
+	depth := 1
+	for 1<<depth < workers*8 {
+		depth++
+	}
+	return depth
+}
+
+// parCtx is the shared state of one parallel traversal: the task
+// WaitGroup, the worker-cap semaphore, and the stats accumulator that
+// completing tasks merge into (nil when collection is off).
+type parCtx struct {
+	wg   sync.WaitGroup
+	sem  chan struct{}
+	root *stats.TraversalStats
 }
 
 // RunParallel performs the traversal with query-side task parallelism.
@@ -116,37 +200,63 @@ func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		Run(q, r, rule)
+		RunStats(q, r, rule, opts.Stats)
 		return
 	}
 	depth := opts.SpawnDepth
 	if depth <= 0 {
-		// 2^depth leaves of the task tree ≈ 8 tasks per worker.
-		depth = 3
-		for 1<<depth < workers*8 {
-			depth++
-		}
+		depth = SpawnDepthFor(workers)
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	// The calling goroutine is itself a worker and recurses inline for
+	// the whole traversal, so only workers-1 semaphore slots exist: a
+	// spawned task holds its slot for its entire lifetime, capping
+	// concurrency at 1 (caller) + (workers-1) spawned = workers.
+	pc := &parCtx{sem: make(chan struct{}, workers-1), root: opts.Stats}
+	var local *stats.TraversalStats
+	if pc.root != nil {
+		local = &stats.TraversalStats{}
+	}
 	ord, _ := rule.(ChildOrderer)
-	parDual(q.Root, r.Root, rule, ord, depth, &wg, sem)
-	wg.Wait()
+	parDual(q.Root, r.Root, rule, ord, depth, 0, pc, local)
+	pc.wg.Wait()
+	if local != nil {
+		// All tasks have merged; fold the caller's share in last.
+		flushRule(rule, local)
+		local.MergeAtomic(pc.root)
+	}
 }
 
 // parDual mirrors dual but spawns the first query-child group into a
 // new task while the current goroutine continues with the second —
 // the recursive OpenMP-task pattern of Section IV-F — until spawnDepth
 // is exhausted or the semaphore shows the workers are saturated.
-func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth int, wg *sync.WaitGroup, sem chan struct{}) {
+func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth int, pc *parCtx, st *stats.TraversalStats) {
+	if st != nil && int64(depth) > st.MaxDepth {
+		st.MaxDepth = int64(depth)
+	}
 	switch rule.PruneApprox(qn, rn) {
 	case prune.Prune:
+		if st != nil {
+			st.Prunes++
+			st.PrunedPairs += pairCount(qn, rn)
+		}
 		return
 	case prune.Approx:
+		if st != nil {
+			st.Approxes++
+			st.ApproxPairs += pairCount(qn, rn)
+		}
 		rule.ComputeApprox(qn, rn)
 		return
 	}
+	if st != nil {
+		st.Visits++
+	}
 	if qn.IsLeaf() && rn.IsLeaf() {
+		if st != nil {
+			st.BaseCases++
+			st.BaseCasePairs += pairCount(qn, rn)
+		}
 		rule.BaseCase(qn, rn)
 		return
 	}
@@ -155,12 +265,12 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth int, wg 
 	if spawnDepth <= 0 || len(qsplit) < 2 {
 		for _, qc := range qsplit {
 			if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-				dual(qc, rsplit[1], rule, ord)
-				dual(qc, rsplit[0], rule, ord)
+				dual(qc, rsplit[1], rule, ord, depth+1, st)
+				dual(qc, rsplit[0], rule, ord, depth+1, st)
 				continue
 			}
 			for _, rc := range rsplit {
-				dual(qc, rc, rule, ord)
+				dual(qc, rc, rule, ord, depth+1, st)
 			}
 		}
 		rule.PostChildren(qn)
@@ -174,35 +284,51 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth int, wg 
 	for i, qc := range qsplit {
 		if i < len(qsplit)-1 {
 			select {
-			case sem <- struct{}{}:
+			case pc.sem <- struct{}{}:
 				forked := rule.Fork()
 				fordered, _ := forked.(ChildOrderer)
+				if st != nil {
+					st.TasksSpawned++
+				}
 				localWG.Add(1)
-				wg.Add(1)
+				pc.wg.Add(1)
 				go func(qc *tree.Node) {
-					defer wg.Done()
+					defer pc.wg.Done()
 					defer localWG.Done()
-					defer func() { <-sem }()
-					if fordered != nil && len(rsplit) == 2 && fordered.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-						parDual(qc, rsplit[1], forked, fordered, spawnDepth-1, wg, sem)
-						parDual(qc, rsplit[0], forked, fordered, spawnDepth-1, wg, sem)
-						return
+					defer func() { <-pc.sem }()
+					var tst *stats.TraversalStats
+					if pc.root != nil {
+						tst = &stats.TraversalStats{}
 					}
-					for _, rc := range rsplit {
-						parDual(qc, rc, forked, fordered, spawnDepth-1, wg, sem)
+					if fordered != nil && len(rsplit) == 2 && fordered.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
+						parDual(qc, rsplit[1], forked, fordered, spawnDepth-1, depth+1, pc, tst)
+						parDual(qc, rsplit[0], forked, fordered, spawnDepth-1, depth+1, pc, tst)
+					} else {
+						for _, rc := range rsplit {
+							parDual(qc, rc, forked, fordered, spawnDepth-1, depth+1, pc, tst)
+						}
+					}
+					if tst != nil {
+						// Task completion: fold the rule's counters in,
+						// then merge once into the shared accumulator.
+						flushRule(forked, tst)
+						tst.MergeAtomic(pc.root)
 					}
 				}(qc)
 				continue
 			default:
+				if st != nil {
+					st.InlineFallbacks++
+				}
 			}
 		}
 		if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-			parDual(qc, rsplit[1], rule, ord, spawnDepth-1, wg, sem)
-			parDual(qc, rsplit[0], rule, ord, spawnDepth-1, wg, sem)
+			parDual(qc, rsplit[1], rule, ord, spawnDepth-1, depth+1, pc, st)
+			parDual(qc, rsplit[0], rule, ord, spawnDepth-1, depth+1, pc, st)
 			continue
 		}
 		for _, rc := range rsplit {
-			parDual(qc, rc, rule, ord, spawnDepth-1, wg, sem)
+			parDual(qc, rc, rule, ord, spawnDepth-1, depth+1, pc, st)
 		}
 	}
 	// The query node's bound may only be tightened once every child
