@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench stats
+.PHONY: check build vet test race bench bench-tree stats
 
 # Tier-1 gate: everything must pass before a change lands.
 check: build vet test race
@@ -14,13 +14,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# The traversal and engine are where parallelism lives; run them under
-# the race detector explicitly.
+# The traversal, engine, and tree build are where parallelism lives;
+# run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/traverse/... ./internal/engine/...
+	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Tree-construction benchmark (1e5 and 1e6 points, serial vs parallel
+# arena build, with allocation counts); writes BENCH_treebuild.json.
+bench-tree:
+	$(GO) test -bench=BenchmarkTreeBuild -benchmem ./internal/bench/
+	$(GO) run ./cmd/portalbench -experiment treebuild -reps 3 -json BENCH_treebuild.json
 
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000

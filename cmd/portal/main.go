@@ -47,7 +47,8 @@ func main() {
 	theta := flag.Float64("theta", 0.5, "Barnes-Hut opening angle")
 	eps := flag.Float64("eps", 0.05, "Barnes-Hut softening")
 	leaf := flag.Int("leaf", 32, "tree leaf size q")
-	seq := flag.Bool("seq", false, "disable parallel traversal")
+	seq := flag.Bool("seq", false, "disable parallel execution")
+	workers := flag.Int("workers", 0, "cap worker goroutines for tree build and traversal (0 = GOMAXPROCS)")
 	statsFlag := flag.Bool("stats", false, "print traversal statistics to stderr after the run")
 	statsJSON := flag.String("stats-json", "", "write traversal statistics as JSON to this file ('-' for stderr)")
 	flag.Parse()
@@ -64,7 +65,7 @@ func main() {
 		ref, err = storage.FromCSV(*refPath)
 		fatal(err)
 	}
-	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Tau: *tau}
+	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Workers: *workers, Tau: *tau}
 	var sink *stats.Report
 	if *statsFlag || *statsJSON != "" {
 		sink = &stats.Report{}
@@ -137,7 +138,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "portal: total MST weight %g\n", total)
 	case "bh":
 		acc, err := nbody.BarnesHut(query, nil, problems.BHConfig{
-			Theta: *theta, Eps: *eps, LeafSize: *leaf, Parallel: !*seq,
+			Theta: *theta, Eps: *eps, LeafSize: *leaf,
+			Parallel: !*seq, Workers: *workers,
 		})
 		fatal(err)
 		for _, a := range acc {

@@ -22,15 +22,16 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, stats, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
 	reps := flag.Int("reps", 1, "repetitions per measurement (min kept)")
 	leaf := flag.Int("leaf", 32, "tree leaf size q")
+	workers := flag.Int("workers", 8, "parallel worker cap for the treebuild experiment")
 	statsFlag := flag.Bool("stats", false,
 		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
-	jsonPath := flag.String("json", "", "with -stats, also write the JSON array to this file")
+	jsonPath := flag.String("json", "", "with -stats or -experiment treebuild, also write the JSON array to this file")
 	flag.Parse()
 
 	o := bench.Options{
@@ -83,6 +84,23 @@ func main() {
 	case "tausweep":
 		fmt.Println("== KDE tau accuracy/time sweep ==")
 		bench.TauSweep(o, os.Stdout)
+	case "treebuild":
+		fmt.Println("== Tree construction (serial vs parallel arena build) ==")
+		results := bench.TreeBuild(o, *workers, os.Stdout)
+		b, err := bench.TreeBuildJSON(results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "portalbench:", err)
+			os.Exit(1)
+		}
+		if *jsonPath != "" {
+			b = append(b, '\n')
+			if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "portalbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(string(b))
+		}
 	case "all":
 		fmt.Println("== Table II: datasets ==")
 		fmt.Print(dataset.Summary(*scale))

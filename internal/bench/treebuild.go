@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// This file implements the tree-construction benchmark: the build
+// phase in isolation, at the scales where the arena pipeline matters
+// (1e5 and 1e6 points). It records wall time, allocation behaviour,
+// and the spawn counters of the parallel build — the evidence behind
+// the flat-arena rework (serial speedup from contiguous partition
+// scans, allocation count collapsed to a handful of arena buffers,
+// concurrency capped at the -workers setting).
+
+// TreeBuildResult is one measured build configuration.
+type TreeBuildResult struct {
+	// Tree is "kd" or "oct"; N and Dim describe the dataset.
+	Tree string `json:"tree"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+	// Workers is the build worker cap (1 = serial).
+	Workers int `json:"workers"`
+	// WallNS is the best-of-reps build wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// AllocBytes and Mallocs are the per-build heap cost (single-run
+	// deltas of runtime.MemStats, measured on the final rep).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	// NodeCount and MaxDepth describe the built tree.
+	NodeCount int `json:"node_count"`
+	MaxDepth  int `json:"max_depth"`
+	// TasksSpawned and InlineFallbacks are the build's task counters.
+	TasksSpawned    int64 `json:"tasks_spawned"`
+	InlineFallbacks int64 `json:"inline_fallbacks"`
+}
+
+// TreeBuild measures kd-tree and octree construction over 3-d normal
+// data at each scale, serial and parallel at the given worker cap.
+func TreeBuild(o Options, workers int, w io.Writer) []TreeBuildResult {
+	o = o.fill()
+	if workers <= 0 {
+		workers = 8
+	}
+	var results []TreeBuildResult
+	for _, n := range []int{100000, 1000000} {
+		if n > o.Scale && o.Scale != 20000 {
+			// An explicit smaller -scale bounds the experiment (tests use
+			// this); the default runs both paper scales.
+			continue
+		}
+		data := normal3D(n, o.Seed)
+		for _, kind := range []string{"kd", "oct"} {
+			build := tree.BuildKD
+			if kind == "oct" {
+				build = tree.BuildOct
+			}
+			for _, wk := range []int{1, workers} {
+				opts := &tree.Options{LeafSize: o.LeafSize, Parallel: wk > 1, Workers: wk}
+				var tr *tree.Tree
+				wall := timeIt(o.Reps, func() { tr = build(data, opts) })
+				allocBytes, mallocs := measureBuildAllocs(func() { build(data, opts) })
+				res := TreeBuildResult{
+					Tree: kind, N: n, Dim: data.Dim(), Workers: wk,
+					WallNS:     wall.Nanoseconds(),
+					AllocBytes: allocBytes, Mallocs: mallocs,
+					NodeCount: tr.NodeCount, MaxDepth: tr.MaxDepth,
+					TasksSpawned:    tr.Build.TasksSpawned,
+					InlineFallbacks: tr.Build.InlineFallbacks,
+				}
+				results = append(results, res)
+				if w != nil {
+					fmt.Fprintf(w, "%-3s N=%-8d workers=%-2d %-12v nodes=%-7d allocs=%-8d tasks=%d\n",
+						kind, n, wk, time.Duration(res.WallNS), res.NodeCount, res.Mallocs, res.TasksSpawned)
+				}
+			}
+		}
+	}
+	return results
+}
+
+// TreeBuildJSON renders the results as indented JSON (the
+// BENCH_treebuild.json artifact `make bench-tree` writes).
+func TreeBuildJSON(results []TreeBuildResult) ([]byte, error) {
+	return json.MarshalIndent(results, "", "  ")
+}
+
+// normal3D generates n standard-normal 3-d points directly into
+// column-major storage (cheaper than dataset.Generate for the large
+// build-only scales).
+func normal3D(n int, seed int64) *storage.Storage {
+	rng := rand.New(rand.NewSource(seed*6151 + 3))
+	s := storage.New(n, 3)
+	for j := 0; j < 3; j++ {
+		col := s.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+// measureBuildAllocs runs one build and returns its heap allocation
+// deltas. GC runs around the build so the deltas reflect the build
+// alone.
+func measureBuildAllocs(build func()) (bytes, mallocs uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	build()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc, after.Mallocs - before.Mallocs
+}

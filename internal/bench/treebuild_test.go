@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"portal/internal/tree"
+)
+
+// TestTreeBuildExperiment smoke-tests the treebuild experiment at the
+// small paper scale and checks the JSON artifact round-trips.
+func TestTreeBuildExperiment(t *testing.T) {
+	results := TreeBuild(Options{Scale: 100000, Seed: 1, Reps: 1}, 8, nil)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range results {
+		if r.N != 100000 {
+			t.Fatalf("scale cap ignored: measured N=%d", r.N)
+		}
+		if r.WallNS <= 0 || r.NodeCount <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+		if r.Workers == 1 && r.TasksSpawned != 0 {
+			t.Fatalf("serial build spawned tasks: %+v", r)
+		}
+	}
+	b, err := TreeBuildJSON(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []TreeBuildResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("JSON round trip lost rows: %d vs %d", len(back), len(results))
+	}
+}
+
+// BenchmarkTreeBuild is the `make bench-tree` benchmark: kd and octree
+// construction at 1e5 and 1e6 points, serial and parallel.
+func BenchmarkTreeBuild(b *testing.B) {
+	for _, n := range []int{100000, 1000000} {
+		data := normal3D(n, 1)
+		for _, kind := range []string{"kd", "oct"} {
+			build := tree.BuildKD
+			if kind == "oct" {
+				build = tree.BuildOct
+			}
+			for _, workers := range []int{1, 8} {
+				opts := &tree.Options{Parallel: workers > 1, Workers: workers}
+				b.Run(fmt.Sprintf("%s/n=%d/workers=%d", kind, n, workers), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						build(data, opts)
+					}
+				})
+			}
+		}
+	}
+}

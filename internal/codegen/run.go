@@ -405,10 +405,10 @@ func (r *Run) pointBound(i int) float64 {
 // Output in original index order.
 func (r *Run) Finalize() *Output {
 	if r.NodeDelta != nil {
-		r.pushDownDeltas(r.Q.Root, 0)
+		r.pushDownDeltas()
 	}
 	if r.pendingRanges != nil {
-		r.pushDownRanges(r.Q.Root, nil)
+		r.pushDownRanges()
 	}
 	out := &Output{Stats: *r.stats}
 	plan := r.Ex.Plan
@@ -521,42 +521,65 @@ func (r *Run) Finalize() *Output {
 }
 
 // pushDownDeltas adds every node's pending approximation delta to all
-// points beneath it.
-func (r *Run) pushDownDeltas(n *tree.Node, acc float64) {
-	acc += r.NodeDelta[n.ID]
-	if n.IsLeaf() {
-		if acc != 0 {
-			for i := n.Begin; i < n.End; i++ {
-				r.Val[i] += acc
+// points beneath it — a single forward scan of the preorder arena. The
+// tree guarantees Parent[i] < i, so accumulating each node's delta
+// into its own slot after adding its parent's (already-accumulated)
+// slot distributes every ancestor contribution in one linear pass, no
+// recursion.
+func (r *Run) pushDownDeltas() {
+	q := r.Q
+	acc := r.NodeDelta
+	for i := range q.Nodes {
+		if p := q.Parent[i]; p >= 0 {
+			acc[i] += acc[p]
+		}
+		n := &q.Nodes[i]
+		if !n.IsLeaf() {
+			continue
+		}
+		if a := acc[i]; a != 0 {
+			for k := n.Begin; k < n.End; k++ {
+				r.Val[k] += a
 			}
 		}
-		return
-	}
-	for _, c := range n.Children {
-		r.pushDownDeltas(c, acc)
 	}
 }
 
 // pushDownRanges appends every node's bulk-included reference ranges
-// to all points beneath it.
-func (r *Run) pushDownRanges(n *tree.Node, acc [][2]int) {
-	acc = append(acc, r.pendingRanges[n.ID]...)
-	if n.IsLeaf() {
-		if len(acc) > 0 {
-			for i := n.Begin; i < n.End; i++ {
-				for _, rg := range acc {
-					for p := rg[0]; p < rg[1]; p++ {
-						r.IdxLists[i] = append(r.IdxLists[i], p)
-						if r.ValLists != nil {
-							r.ValLists[i] = append(r.ValLists[i], 1)
-						}
+// to all points beneath it — the same forward preorder scan as
+// pushDownDeltas, accumulating each node's full ancestor range list in
+// its own slot. A node with no ranges of its own shares its parent's
+// accumulated slice; a node that adds ranges gets a freshly allocated
+// concatenation (never an in-place append, which could alias a
+// sibling's accumulation through shared backing capacity).
+func (r *Run) pushDownRanges() {
+	q := r.Q
+	cum := r.pendingRanges
+	for i := range q.Nodes {
+		if p := q.Parent[i]; p >= 0 {
+			inherited := cum[p]
+			if own := cum[i]; len(own) == 0 {
+				cum[i] = inherited
+			} else if len(inherited) > 0 {
+				merged := make([][2]int, 0, len(inherited)+len(own))
+				merged = append(merged, inherited...)
+				merged = append(merged, own...)
+				cum[i] = merged
+			}
+		}
+		n := &q.Nodes[i]
+		if !n.IsLeaf() || len(cum[i]) == 0 {
+			continue
+		}
+		for k := n.Begin; k < n.End; k++ {
+			for _, rg := range cum[i] {
+				for p := rg[0]; p < rg[1]; p++ {
+					r.IdxLists[k] = append(r.IdxLists[k], p)
+					if r.ValLists != nil {
+						r.ValLists[k] = append(r.ValLists[k], 1)
 					}
 				}
 			}
 		}
-		return
-	}
-	for _, c := range n.Children {
-		r.pushDownRanges(c, acc)
 	}
 }

@@ -140,9 +140,11 @@ func finishCompile(plan *lower.Plan, prog *ir.Program, spec *lang.PortalExpr, cf
 }
 
 // BuildTrees constructs the query and reference trees for the problem.
+// The -workers cap governs tree construction exactly as it governs the
+// traversal: Config.Workers is threaded through to tree.Options.
 func (p *Problem) BuildTrees(cfg Config) (qt, rt *tree.Tree) {
-	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel}
-	rOpts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Weights: cfg.Weights}
+	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers}
+	rOpts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Weights: cfg.Weights}
 	qData := p.Plan.Spec.Outer().Data
 	rData := p.Plan.Spec.Inner().Data
 	if cfg.Tree == Octree {
@@ -160,17 +162,18 @@ func (p *Problem) BuildTrees(cfg Config) (qt, rt *tree.Tree) {
 func (p *Problem) Execute(cfg Config) (*codegen.Output, error) {
 	start := time.Now()
 	qt, rt := p.BuildTrees(cfg)
-	return p.executeOn(qt, rt, cfg, time.Since(start))
+	return p.executeOn(qt, rt, cfg, time.Since(start), true)
 }
 
 // ExecuteOn runs the traversal over pre-built trees (iterative
 // problems such as MST and EM rebuild state, not trees, each round).
-// The tree-build phase of any attached Report is zero.
+// The tree-build phase (and build task counters) of any attached
+// Report are zero.
 func (p *Problem) ExecuteOn(qt, rt *tree.Tree, cfg Config) (*codegen.Output, error) {
-	return p.executeOn(qt, rt, cfg, 0)
+	return p.executeOn(qt, rt, cfg, 0, false)
 }
 
-func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duration) (*codegen.Output, error) {
+func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duration, builtHere bool) (*codegen.Output, error) {
 	run := p.Ex.Bind(qt, rt)
 	st := run.TraversalStats()
 	start := time.Now()
@@ -199,6 +202,10 @@ func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duratio
 		}
 		if st != nil {
 			rep.Traversal = *st
+		}
+		if builtHere {
+			rep.Build.Add(qt.Build)
+			rep.Build.Add(rt.Build)
 		}
 		out.Report = rep
 		if cfg.StatsSink != nil {

@@ -57,7 +57,10 @@ func BarnesHut(pos *storage.Storage, mass []float64, cfg BHConfig) ([][]float64,
 			mass[i] = 1
 		}
 	}
-	t := tree.BuildOct(pos, &tree.Options{LeafSize: cfg.LeafSize, Weights: mass})
+	t := tree.BuildOct(pos, &tree.Options{
+		LeafSize: cfg.LeafSize, Weights: mass,
+		Parallel: cfg.Parallel, Workers: cfg.Workers,
+	})
 	r := &bhRule{
 		t:     t,
 		theta: cfg.Theta,

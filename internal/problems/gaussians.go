@@ -107,7 +107,7 @@ func NBCTrain(train *storage.Storage, labels []int, reg float64) (*NBCModel, err
 // possible log-density can never win anywhere in that node and is
 // dropped for the whole subtree.
 func (m *NBCModel) Classify(test *storage.Storage, cfg Config) ([]int, error) {
-	t := tree.BuildKD(test, &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel})
+	t := tree.BuildKD(test, &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers})
 	out := make([]int, test.Len())
 	active := make([]int, len(m.Classes))
 	for i := range active {

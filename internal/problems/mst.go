@@ -35,7 +35,7 @@ func MST(data *storage.Storage, cfg Config) ([]MSTEdge, float64, error) {
 		return nil, 0, nil
 	}
 	start := time.Now()
-	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel}
+	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers}
 	t := tree.BuildKD(data, opts)
 	buildDur := time.Since(start)
 

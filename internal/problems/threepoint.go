@@ -27,7 +27,7 @@ import (
 // the ordered-pair convention of TwoPointCorrelation).
 func ThreePointCorrelation(data *storage.Storage, radius float64, cfg Config) (float64, error) {
 	start := time.Now()
-	t := tree.BuildKD(data, &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel})
+	t := tree.BuildKD(data, &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers})
 	buildDur := time.Since(start)
 	rule := &threePointRule{t: t, r2: radius * radius}
 	var st *stats.TraversalStats

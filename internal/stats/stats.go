@@ -109,6 +109,31 @@ func (s *TraversalStats) EliminatedPairs() int64 {
 	return s.PrunedPairs + s.ApproxPairs
 }
 
+// TreeBuildStats counts the task behaviour of the parallel tree
+// construction — the build-phase analogue of TasksSpawned /
+// InlineFallbacks on TraversalStats. The tree build fills it with
+// atomic adds at spawn points only (never per node), so recording is
+// always on.
+type TreeBuildStats struct {
+	// Workers is the resolved build worker cap (1 for serial builds).
+	Workers int `json:"workers"`
+	// TasksSpawned counts subtree tasks forked during construction.
+	TasksSpawned int64 `json:"tasks_spawned"`
+	// InlineFallbacks counts spawn points that found the workers
+	// saturated and built the subtree inline instead.
+	InlineFallbacks int64 `json:"inline_fallbacks"`
+}
+
+// Add folds o into s (single-writer contexts). Workers takes o's
+// value when set, so merging a report chain keeps the latest cap.
+func (s *TreeBuildStats) Add(o TreeBuildStats) {
+	if o.Workers > 0 {
+		s.Workers = o.Workers
+	}
+	s.TasksSpawned += o.TasksSpawned
+	s.InlineFallbacks += o.InlineFallbacks
+}
+
 // Phases is the wall-time breakdown of one execution. Durations
 // marshal as integer nanoseconds.
 type Phases struct {
@@ -150,6 +175,9 @@ type Report struct {
 	TotalPairs int64 `json:"total_pairs"`
 	// Traversal holds the event counters.
 	Traversal TraversalStats `json:"traversal"`
+	// Build holds the tree-construction task counters (both trees of
+	// an execution folded together; zero when the trees were prebuilt).
+	Build TreeBuildStats `json:"tree_build"`
 	// Phases holds the wall-time breakdown.
 	Phases Phases `json:"phases"`
 }
@@ -170,6 +198,7 @@ func (r *Report) Merge(o *Report) {
 	}
 	r.TotalPairs += o.TotalPairs
 	r.Traversal.Add(&o.Traversal)
+	r.Build.Add(o.Build)
 	r.Phases.Add(o.Phases)
 }
 
@@ -215,5 +244,9 @@ func (r *Report) String() string {
 		r.TotalPairs, t.BaseCasePairs, t.PrunedPairs, t.ApproxPairs, 100*r.PrunedFraction())
 	s += fmt.Sprintf("  kernel evals: %d  base cases: %d  tasks: %d (inline fallbacks: %d)",
 		t.KernelEvals, t.BaseCases, t.TasksSpawned, t.InlineFallbacks)
+	if b := r.Build; b.Workers > 0 {
+		s += fmt.Sprintf("\n  tree build: workers=%d tasks=%d (inline fallbacks: %d)",
+			b.Workers, b.TasksSpawned, b.InlineFallbacks)
+	}
 	return s
 }

@@ -12,9 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Layout is the physical arrangement of a Storage's matrix.
@@ -86,6 +88,19 @@ func FromRows(rows [][]float64) (*Storage, error) {
 		s.SetPoint(i, r)
 	}
 	return s, nil
+}
+
+// FromFlat wraps an existing flat buffer as an n×d Storage in the
+// given layout, without copying. The buffer must hold exactly n·d
+// values and ownership transfers to the Storage: the caller must not
+// mutate data afterwards. The tree builder uses this to publish its
+// in-place-partitioned working buffer as the reordered tree storage,
+// making the final gather zero-copy.
+func FromFlat(n, d int, l Layout, data []float64) *Storage {
+	if n < 0 || d <= 0 || len(data) != n*d {
+		panic(fmt.Sprintf("storage: flat buffer of %d values for %dx%d", len(data), n, d))
+	}
+	return &Storage{n: n, d: d, layout: l, data: data}
 }
 
 // MustFromRows is FromRows that panics on error; for tests and examples.
@@ -190,13 +205,63 @@ func (s *Storage) Rows() [][]float64 {
 // the given indices, in order. Trees use Gather to produce storage in
 // which each leaf's points are contiguous.
 func (s *Storage) Gather(idx []int) *Storage {
+	return s.GatherParallel(idx, 1)
+}
+
+// GatherParallel is Gather with the copy chunked across up to workers
+// goroutines (the calling goroutine counts as one worker; workers <= 1
+// gathers serially). The copy loops are specialized to the physical
+// layout: column-major gathers sweep each dimension with unit-stride
+// writes, row-major gathers copy whole rows.
+func (s *Storage) GatherParallel(idx []int, workers int) *Storage {
 	g := NewWithLayout(len(idx), s.d, s.layout)
-	buf := make([]float64, s.d)
-	for i, src := range idx {
-		s.Point(src, buf)
-		g.SetPoint(i, buf)
+	n := len(idx)
+	if workers > n {
+		workers = n
 	}
+	if workers <= 1 {
+		s.gatherRange(g, idx, 0, n)
+		return g
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s.gatherRange(g, idx, lo, hi)
+		}(lo, hi)
+	}
+	s.gatherRange(g, idx, 0, chunk)
+	wg.Wait()
 	return g
+}
+
+// gatherRange copies points idx[lo:hi) into g[lo:hi) directly in the
+// shared physical layout (callers guarantee disjoint ranges).
+func (s *Storage) gatherRange(g *Storage, idx []int, lo, hi int) {
+	if s.layout == ColMajor {
+		for j := 0; j < s.d; j++ {
+			src := s.data[j*s.n : (j+1)*s.n]
+			dst := g.data[j*g.n : (j+1)*g.n]
+			for i := lo; i < hi; i++ {
+				dst[i] = src[idx[i]]
+			}
+		}
+		return
+	}
+	d := s.d
+	for i := lo; i < hi; i++ {
+		copy(g.data[i*d:(i+1)*d], s.data[idx[i]*d:idx[i]*d+d])
+	}
 }
 
 // Convert returns a copy of s in the requested layout (or s itself if
@@ -222,13 +287,19 @@ func (s *Storage) Clone() *Storage {
 }
 
 // ReadCSV parses comma-separated float rows from r. Blank lines are
-// skipped; a single non-numeric header line is tolerated and skipped.
+// skipped; a single non-numeric header line is tolerated and skipped —
+// a second non-numeric line is an error, not more header. Non-finite
+// fields (NaN, ±Inf — which strconv.ParseFloat would happily accept)
+// are rejected with a line-numbered error: a single NaN coordinate
+// would poison every pivot comparison and bounding box computed by the
+// tree builder downstream.
 func ReadCSV(r io.Reader) (*Storage, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var rows [][]float64
 	d := -1
 	lineNo := 0
+	headerSkipped := false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -244,11 +315,15 @@ func ReadCSV(r io.Reader) (*Storage, error) {
 				ok = false
 				break
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("storage: line %d: non-finite value %q", lineNo, strings.TrimSpace(f))
+			}
 			row = append(row, v)
 		}
 		if !ok {
-			if len(rows) == 0 && d == -1 {
-				continue // header line
+			if !headerSkipped && len(rows) == 0 && d == -1 {
+				headerSkipped = true
+				continue // at most one header line
 			}
 			return nil, fmt.Errorf("storage: line %d: non-numeric field", lineNo)
 		}

@@ -251,3 +251,91 @@ func TestRowsMaterialization(t *testing.T) {
 		t.Fatalf("Rows wrong: %v", rows)
 	}
 }
+
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	cases := map[string]string{
+		"NaN":       "1,2\nNaN,4\n",
+		"lower nan": "1,2\n3,nan\n",
+		"+Inf":      "1,2\n+Inf,4\n",
+		"-Inf":      "x,y\n1,2\n3,-Inf\n",
+		"infinity":  "1,Infinity\n",
+	}
+	for name, in := range cases {
+		_, err := ReadCSV(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: non-finite input accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("%s: error %q lacks a line number", name, err)
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s: error %q does not name the cause", name, err)
+		}
+	}
+	// A column literally named "nan" must still be skippable as header:
+	// the header check (non-numeric line) runs before the finite check
+	// only when parsing fails, and "nan" parses — so it is data, and
+	// rejected. Document that behaviour.
+	if _, err := ReadCSV(strings.NewReader("nan,inf\n1,2\n")); err == nil {
+		t.Error("parseable non-finite first line must be rejected as data, not skipped")
+	}
+}
+
+func TestReadCSVSingleHeaderOnly(t *testing.T) {
+	// One non-numeric line is tolerated as a header...
+	s, err := ReadCSV(strings.NewReader("x,y\n1,2\n3,4\n"))
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("single header: got (%v, %v)", s, err)
+	}
+	// ...a second one is an error, not more header.
+	if _, err := ReadCSV(strings.NewReader("x,y\nunits,meters\n1,2\n")); err == nil {
+		t.Fatal("double header line accepted")
+	}
+}
+
+func TestGatherParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{3, 7} { // column-major and row-major
+		s := New(500, d)
+		for i := 0; i < s.Len(); i++ {
+			for j := 0; j < d; j++ {
+				s.Set(i, j, rng.NormFloat64())
+			}
+		}
+		idx := rng.Perm(s.Len())
+		idx = append(idx, idx[:100]...) // repeated indices are allowed
+		want := s.Gather(idx)
+		for _, workers := range []int{2, 3, 8, 1000} {
+			got := s.GatherParallel(idx, workers)
+			if got.Len() != want.Len() || got.Dim() != want.Dim() || got.Layout() != want.Layout() {
+				t.Fatalf("d=%d workers=%d: shape mismatch", d, workers)
+			}
+			for i := 0; i < want.Len(); i++ {
+				for j := 0; j < d; j++ {
+					if got.At(i, j) != want.At(i, j) {
+						t.Fatalf("d=%d workers=%d: element (%d,%d) differs", d, workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFromFlat(t *testing.T) {
+	buf := []float64{1, 2, 3, 4, 5, 6}
+	s := FromFlat(3, 2, ColMajor, buf)
+	if s.At(0, 0) != 1 || s.At(2, 1) != 6 {
+		t.Fatal("FromFlat column-major indexing wrong")
+	}
+	r := FromFlat(3, 2, RowMajor, buf)
+	if r.At(0, 1) != 2 || r.At(2, 0) != 5 {
+		t.Fatal("FromFlat row-major indexing wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromFlat with mismatched buffer length should panic")
+		}
+	}()
+	FromFlat(4, 2, ColMajor, buf)
+}

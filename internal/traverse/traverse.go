@@ -158,7 +158,10 @@ func split(n *tree.Node) []*tree.Node {
 type Options struct {
 	// Workers caps concurrency; 0 means GOMAXPROCS. The calling
 	// goroutine counts against the cap: at most Workers goroutines
-	// ever execute rule callbacks concurrently.
+	// ever execute rule callbacks concurrently. tree.Options.Workers
+	// uses the same semantics (a workers-1 semaphore plus the caller),
+	// so one -workers setting governs the build and traversal phases
+	// uniformly.
 	Workers int
 	// SpawnDepth controls how deep query-side splits keep spawning
 	// tasks; 0 derives it from Workers via SpawnDepthFor.

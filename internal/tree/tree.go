@@ -6,23 +6,58 @@
 // Every node carries the metadata the multi-tree traversal consumes
 // without touching raw points: bounding box, center, point count, and
 // — for approximation problems — total mass and center of mass.
+//
+// # Flat node arena
+//
+// Nodes are not individually heap-allocated. A Tree owns one
+// contiguous preorder slice of Node headers (Tree.Nodes) plus two
+// shared flat buffers: a coordinate arena holding every node's
+// BBox.Min/BBox.Max/Center/Centroid vectors back to back, and a
+// child-reference arena holding every Children slice. A *Node is
+// therefore interchangeable with its arena index (Node.ID), parents
+// are available as the arena-indexed Tree.Parent array, and preorder
+// walks are linear scans over Tree.Nodes — tree phases are
+// bandwidth-bound instead of pointer-chasing-bound, the layout the
+// sparse-octree GPU and distributed hierarchical N-body codes use.
+//
+// # Parallel construction
+//
+// The build copies the points once into a working buffer and permutes
+// it in place alongside the index array at every partition step, so
+// all construction scans (quickselect keys, child bounding boxes,
+// octant codes, leaf aggregates) are unit-stride over contiguous
+// memory and the finished buffer is published as the tree's reordered
+// storage without a gather pass.
+//
+// Construction is parallel end to end when Options.Parallel is set:
+// subtree recursion spawns tasks through a workers-1 semaphore (the
+// calling goroutine counts against the cap, mirroring
+// traverse.Options.Workers semantics), child bounding boxes are
+// computed in a single pass fused into the partition step instead of a
+// separate full rescan per node, and the bottom-up Mass/Centroid
+// aggregation runs chunked across the same worker cap. Spawn behaviour
+// is recorded in Tree.Build.
 package tree
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"portal/internal/geom"
+	"portal/internal/stats"
 	"portal/internal/storage"
 )
 
 // Node is a tree node covering the contiguous point range [Begin, End)
-// of the tree's reordered Storage.
+// of the tree's reordered Storage. Nodes live in the owning Tree's
+// preorder arena; their vector fields (BBox, Center, Centroid) are
+// views into the tree's shared flat coordinate buffer.
 type Node struct {
-	// ID is the node's preorder index in its tree, assigned at build
-	// time. Traversals use it to key per-node state (prune bounds,
-	// pending approximation deltas) in flat arrays.
+	// ID is the node's preorder index in its tree — its index in
+	// Tree.Nodes. Traversals use it to key per-node state (prune
+	// bounds, pending approximation deltas) in flat arrays.
 	ID int
 	// Begin and End delimit the node's points in Tree.Data.
 	Begin, End int
@@ -38,7 +73,10 @@ type Node struct {
 	// of mass).
 	Centroid []float64
 	// Children are the child nodes: nil for a leaf, two for a kd-tree
-	// node, and up to 2^d for an octree node.
+	// node, and up to 2^d for an octree node. The slice is a view into
+	// the tree's shared child-reference arena and the pointers address
+	// the node arena, so a child reference is equivalent to its index
+	// (Children[i].ID).
 	Children []*Node
 	// Depth is the node's depth from the root (root = 0).
 	Depth int
@@ -50,10 +88,19 @@ func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
 // Count returns the number of points in the node.
 func (n *Node) Count() int { return n.End - n.Begin }
 
-// Tree couples the node hierarchy with the reordered point storage.
+// Tree couples the flat node arena with the reordered point storage.
 type Tree struct {
-	// Root is the tree root (never nil for a non-empty build).
+	// Root is the tree root: &Nodes[0] (never nil for a non-empty
+	// build).
 	Root *Node
+	// Nodes is the preorder node arena. Nodes[i].ID == i.
+	Nodes []Node
+	// Parent maps a node's arena index to its parent's arena index
+	// (-1 for the root). Preorder guarantees Parent[i] < i, so a single
+	// forward scan sees every parent before its children and a single
+	// backward scan sees every child before its parent — the property
+	// the flat push-down and bottom-up aggregation passes rely on.
+	Parent []int32
 	// Data is the point storage, reordered so every node's points are
 	// contiguous. Its layout follows the Storage layout rule.
 	Data *storage.Storage
@@ -70,6 +117,15 @@ type Tree struct {
 	NodeCount int
 	LeafCount int
 	MaxDepth  int
+	// Build records the construction's task-spawn behaviour.
+	Build stats.TreeBuildStats
+
+	// coords is the shared flat coordinate buffer backing every node's
+	// BBox.Min, BBox.Max, Center, and Centroid (4·d floats per node).
+	coords []float64
+	// childRefs is the shared flat buffer backing every node's
+	// Children slice (each non-root node appears exactly once).
+	childRefs []*Node
 }
 
 // Dim returns the dimensionality of the tree's points.
@@ -77,6 +133,28 @@ func (t *Tree) Dim() int { return t.Data.Dim() }
 
 // Len returns the number of points in the tree.
 func (t *Tree) Len() int { return t.Data.Len() }
+
+// Node returns the node at the given arena index (Node.ID).
+func (t *Tree) Node(id int) *Node { return &t.Nodes[id] }
+
+// Walk visits every node in pre-order — a linear scan of the arena.
+func (t *Tree) Walk(f func(*Node)) {
+	for i := range t.Nodes {
+		f(&t.Nodes[i])
+	}
+}
+
+// Leaves returns all leaf nodes in left-to-right order. In preorder,
+// arena order of leaves is exactly left-to-right point order.
+func (t *Tree) Leaves() []*Node {
+	out := make([]*Node, 0, t.LeafCount)
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			out = append(out, &t.Nodes[i])
+		}
+	}
+	return out
+}
 
 // Options configure tree construction.
 type Options struct {
@@ -86,8 +164,14 @@ type Options struct {
 	// Weights optionally assigns a mass to each point (Barnes-Hut).
 	// When nil every point has mass 1.
 	Weights []float64
-	// Parallel enables parallel subtree construction.
+	// Parallel enables parallel construction (subtree recursion,
+	// storage gather, and aggregate computation).
 	Parallel bool
+	// Workers caps build concurrency; 0 means GOMAXPROCS. The calling
+	// goroutine counts against the cap: at most Workers goroutines
+	// ever execute build work concurrently. Ignored unless Parallel is
+	// set, mirroring engine.Config semantics.
+	Workers int
 }
 
 func (o *Options) leafSize() int {
@@ -97,39 +181,182 @@ func (o *Options) leafSize() int {
 	return o.LeafSize
 }
 
+func (o *Options) workers() int {
+	if o == nil || !o.Parallel {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // DefaultLeafSize is the leaf capacity used when Options.LeafSize is 0.
 const DefaultLeafSize = 32
 
-type builder struct {
-	src     *storage.Storage
-	idx     []int
-	weights []float64
-	leaf    int
-	d       int
+// minSpawnCount is the subtree size below which parallel construction
+// stops forking tasks: small ranges are cheaper to build inline than
+// to schedule.
+const minSpawnCount = 4096
 
-	mu        sync.Mutex
-	nodeCount int
-	leafCount int
-	maxDepth  int
+// testBuildHook, when non-nil, observes build-worker concurrency:
+// called with +1 when a goroutine starts executing build work and -1
+// when it stops. Test-only (high-water-mark concurrency proof).
+var testBuildHook func(delta int)
 
-	parallel bool
-	sem      chan struct{}
-	wg       sync.WaitGroup
+func hookEnter() {
+	if h := testBuildHook; h != nil {
+		h(1)
+	}
 }
 
-// BuildKD constructs a kd-tree over s using median splits along the
-// widest bounding-box dimension — the strategy the paper's evaluation
-// uses for both Portal and the expert baseline (Section V-B).
-func BuildKD(s *storage.Storage, opts *Options) *Tree {
+func hookExit() {
+	if h := testBuildHook; h != nil {
+		h(-1)
+	}
+}
+
+// bnode is the transient build-time node. The parallel recursion links
+// bnodes with pointers (tasks allocate from private chunk pools); the
+// finished hierarchy is flattened into the Tree's preorder arena.
+type bnode struct {
+	begin, end, depth int
+	bbox              geom.Rect
+	kids              []*bnode
+}
+
+// pool is per-task scratch: chunk allocators for bnodes, bbox floats
+// and child-pointer slices, plus reusable buffers for the partition
+// scans. Each spawned task owns a private pool, so build allocations
+// never contend and no per-node scratch slices are made.
+type pool struct {
+	nodes  []bnode
+	floats []float64
+	ptrs   []*bnode
+	keys   []float64 // quickselect keys for the task's current range
+	codes  []uint8   // octant codes (octree only)
+	aux    []int     // index permutation scratch (octree only)
+	auxF   []float64 // coordinate permutation scratch (octree only)
+	center []float64 // octant split center (octree only)
+}
+
+const (
+	nodeChunk  = 512
+	floatChunk = 4096
+	ptrChunk   = 1024
+)
+
+func (pl *pool) node() *bnode {
+	if len(pl.nodes) == cap(pl.nodes) {
+		pl.nodes = make([]bnode, 0, nodeChunk)
+	}
+	pl.nodes = pl.nodes[:len(pl.nodes)+1]
+	return &pl.nodes[len(pl.nodes)-1]
+}
+
+// rect carves an uninitialized d-dimensional Rect out of the pool's
+// float chunk.
+func (pl *pool) rect(d int) geom.Rect {
+	if len(pl.floats)+2*d > cap(pl.floats) {
+		pl.floats = make([]float64, 0, floatChunk)
+	}
+	off := len(pl.floats)
+	pl.floats = pl.floats[:off+2*d]
+	buf := pl.floats[off : off+2*d : off+2*d]
+	return geom.Rect{Min: buf[:d:d], Max: buf[d:]}
+}
+
+func (pl *pool) kidSlice(n int) []*bnode {
+	if len(pl.ptrs)+n > cap(pl.ptrs) {
+		pl.ptrs = make([]*bnode, 0, ptrChunk)
+	}
+	off := len(pl.ptrs)
+	pl.ptrs = pl.ptrs[:off+n]
+	return pl.ptrs[off : off+n : off+n]
+}
+
+func (pl *pool) keySlice(n int) []float64 {
+	if cap(pl.keys) < n {
+		pl.keys = make([]float64, n)
+	}
+	return pl.keys[:n]
+}
+
+func (pl *pool) codeSlice(n int) []uint8 {
+	if cap(pl.codes) < n {
+		pl.codes = make([]uint8, n)
+	}
+	return pl.codes[:n]
+}
+
+func (pl *pool) auxSlice(n int) []int {
+	if cap(pl.aux) < n {
+		pl.aux = make([]int, n)
+	}
+	return pl.aux[:n]
+}
+
+func (pl *pool) auxFSlice(n int) []float64 {
+	if cap(pl.auxF) < n {
+		pl.auxF = make([]float64, n)
+	}
+	return pl.auxF[:n]
+}
+
+func (pl *pool) centerBuf(d int) []float64 {
+	if cap(pl.center) < d {
+		pl.center = make([]float64, d)
+	}
+	return pl.center[:d]
+}
+
+type builder struct {
+	// work is a mutable copy of the source points in the source's
+	// physical layout. The partition steps permute it in place alongside
+	// idx, so every scan during construction (bounding boxes, quickselect
+	// keys, octant codes) runs over contiguous memory instead of
+	// gathering through the index array, and finish publishes it as the
+	// tree's reordered storage without a final gather pass.
+	work    []float64
+	idx     []int
+	weights []float64
+	layout  storage.Layout
+	n       int
+	d       int
+	leaf    int
+
+	workers int
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	spawned int64 // atomic
+	inline  int64 // atomic
+}
+
+// col returns the working copy of dimension j (column-major layouts).
+func (b *builder) col(j int) []float64 {
+	return b.work[j*b.n : (j+1)*b.n : (j+1)*b.n]
+}
+
+// row returns the working copy of point i (row-major layouts).
+func (b *builder) row(i int) []float64 {
+	return b.work[i*b.d : (i+1)*b.d : (i+1)*b.d]
+}
+
+func newBuilder(s *storage.Storage, opts *Options) *builder {
 	if s.Len() == 0 {
 		panic("tree: cannot build over empty storage")
 	}
 	b := &builder{
-		src:  s,
-		idx:  make([]int, s.Len()),
-		leaf: opts.leafSize(),
-		d:    s.Dim(),
+		work:    make([]float64, s.Len()*s.Dim()),
+		idx:     make([]int, s.Len()),
+		layout:  s.Layout(),
+		n:       s.Len(),
+		d:       s.Dim(),
+		leaf:    opts.leafSize(),
+		workers: opts.workers(),
 	}
+	copy(b.work, s.Flat())
 	if opts != nil && opts.Weights != nil {
 		if len(opts.Weights) != s.Len() {
 			panic(fmt.Sprintf("tree: %d weights for %d points", len(opts.Weights), s.Len()))
@@ -139,133 +366,193 @@ func BuildKD(s *storage.Storage, opts *Options) *Tree {
 	for i := range b.idx {
 		b.idx[i] = i
 	}
-	if opts != nil && opts.Parallel {
-		b.parallel = true
-		b.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	if b.workers > 1 {
+		// The calling goroutine builds inline and counts against the
+		// cap, so only workers-1 semaphore slots exist: a spawned task
+		// holds its slot for its whole lifetime, capping build
+		// concurrency at 1 (caller) + (workers-1) spawned = workers.
+		b.sem = make(chan struct{}, b.workers-1)
 	}
-	root := b.buildKD(0, s.Len(), 0)
+	return b
+}
+
+// spawn tries to fork fn as a build task; it reports whether a worker
+// slot was available. The task holds its slot until fn returns.
+func (b *builder) spawn(fn func(pl *pool)) bool {
+	if b.sem == nil {
+		return false
+	}
+	select {
+	case b.sem <- struct{}{}:
+		atomic.AddInt64(&b.spawned, 1)
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			hookEnter()
+			fn(&pool{})
+			hookExit()
+			<-b.sem
+		}()
+		return true
+	default:
+		atomic.AddInt64(&b.inline, 1)
+		return false
+	}
+}
+
+// BuildKD constructs a kd-tree over s using median splits along the
+// widest bounding-box dimension — the strategy the paper's evaluation
+// uses for both Portal and the expert baseline (Section V-B).
+func BuildKD(s *storage.Storage, opts *Options) *Tree {
+	b := newBuilder(s, opts)
+	pl := &pool{}
+	root := pl.node()
+	*root = bnode{begin: 0, end: s.Len(), bbox: pl.rect(b.d)}
+	hookEnter()
+	b.scanBBox(0, s.Len(), root.bbox)
+	b.buildKD(root, pl)
+	hookExit()
 	b.wg.Wait()
 	return b.finish(root)
 }
 
-// finish reorders the storage/weights by the final index permutation
-// and computes node aggregates bottom-up.
-func (b *builder) finish(root *Node) *Tree {
-	t := &Tree{
-		Root:      root,
-		Data:      b.src.Gather(b.idx),
-		Index:     b.idx,
-		LeafSize:  b.leaf,
-		NodeCount: b.nodeCount,
-		LeafCount: b.leafCount,
-		MaxDepth:  b.maxDepth,
-	}
-	if b.weights != nil {
-		w := make([]float64, len(b.idx))
-		for newPos, old := range b.idx {
-			w[newPos] = b.weights[old]
-		}
-		t.Weights = w
-	}
-	id := 0
-	t.Walk(func(n *Node) {
-		n.ID = id
-		id++
-	})
-	computeAggregates(root, t)
-	return t
-}
-
-// bboxOf computes the tight bounding box of idx[lo:hi].
-func (b *builder) bboxOf(lo, hi int) geom.Rect {
-	r := geom.EmptyRect(b.d)
-	p := make([]float64, b.d)
-	for i := lo; i < hi; i++ {
-		b.src.Point(b.idx[i], p)
-		r.Expand(p)
-	}
-	return r
-}
-
-func (b *builder) record(n *Node) {
-	b.mu.Lock()
-	b.nodeCount++
-	if n.IsLeaf() {
-		b.leafCount++
-	}
-	if n.Depth > b.maxDepth {
-		b.maxDepth = n.Depth
-	}
-	b.mu.Unlock()
-}
-
-func (b *builder) buildKD(lo, hi, depth int) *Node {
-	bbox := b.bboxOf(lo, hi)
-	n := &Node{Begin: lo, End: hi, BBox: bbox, Center: bbox.Center(nil), Depth: depth}
-	count := hi - lo
-	splitDim, width := bbox.WidestDim()
+// buildKD recursively splits [begin,end) at the median of the widest
+// bounding-box dimension. The node's tight bbox is computed by its
+// parent in a scan fused with the partition step, so no per-node
+// full-range rescans happen.
+func (b *builder) buildKD(n *bnode, pl *pool) {
+	count := n.end - n.begin
+	splitDim, width := n.bbox.WidestDim()
 	if count <= b.leaf || width == 0 {
-		b.record(n)
-		return n
+		return
 	}
-	mid := lo + count/2
-	b.selectNth(lo, hi, mid, splitDim)
-	n.Children = make([]*Node, 2)
-	build := func(slot, clo, chi int) {
-		n.Children[slot] = b.buildKD(clo, chi, depth+1)
+	mid := n.begin + count/2
+	b.selectNth(n.begin, n.end, mid, splitDim, pl)
+	// Fused single-pass child bbox computation: one scan of the freshly
+	// partitioned range fills both children's tight boxes, replacing
+	// the per-node bboxOf rescan (and its scratch slices) the children
+	// would otherwise each perform on entry.
+	left, right := pl.node(), pl.node()
+	*left = bnode{begin: n.begin, end: mid, depth: n.depth + 1, bbox: pl.rect(b.d)}
+	*right = bnode{begin: mid, end: n.end, depth: n.depth + 1, bbox: pl.rect(b.d)}
+	b.scanBBox(n.begin, mid, left.bbox)
+	b.scanBBox(mid, n.end, right.bbox)
+	n.kids = pl.kidSlice(2)
+	n.kids[0], n.kids[1] = left, right
+	if count >= minSpawnCount && b.spawn(func(cpl *pool) { b.buildKD(left, cpl) }) {
+		b.buildKD(right, pl)
+		return
 	}
-	if b.parallel && count > 4096 {
-		// Task parallelism over subtree construction, bounded by the
-		// semaphore so goroutine creation stops once cores saturate.
-		select {
-		case b.sem <- struct{}{}:
-			b.wg.Add(1)
-			go func() {
-				defer b.wg.Done()
-				build(0, lo, mid)
-				<-b.sem
-			}()
-			build(1, mid, hi)
-		default:
-			build(0, lo, mid)
-			build(1, mid, hi)
-		}
-	} else {
-		build(0, lo, mid)
-		build(1, mid, hi)
-	}
-	b.record(n)
-	return n
+	b.buildKD(left, pl)
+	b.buildKD(right, pl)
 }
 
-// selectNth partially sorts idx[lo:hi] so position nth holds the
-// element that would be there in full sorted order by the splitDim
-// coordinate (Hoare quickselect with median-of-three pivots).
-func (b *builder) selectNth(lo, hi, nth, dim int) {
-	key := func(i int) float64 { return b.src.At(b.idx[i], dim) }
+// scanBBox fills r with the tight bounding box of working points
+// [lo,hi) — contiguous unit-stride sweeps in either layout, since the
+// working copy is permuted in place with the index array.
+func (b *builder) scanBBox(lo, hi int, r geom.Rect) {
+	if b.layout == storage.ColMajor {
+		for j := 0; j < b.d; j++ {
+			c := b.col(j)[lo:hi]
+			mn, mx := c[0], c[0]
+			for _, v := range c[1:] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			r.Min[j], r.Max[j] = mn, mx
+		}
+		return
+	}
+	copy(r.Min, b.row(lo))
+	copy(r.Max, r.Min)
+	for i := lo + 1; i < hi; i++ {
+		row := b.row(i)
+		for j, v := range row {
+			if v < r.Min[j] {
+				r.Min[j] = v
+			}
+			if v > r.Max[j] {
+				r.Max[j] = v
+			}
+		}
+	}
+}
+
+// median3 returns the median of three values — the pivot *value* for
+// the Hoare partition. Choosing a value present in the range (instead
+// of swapping sentinels into place) keeps the scans in-bounds with no
+// extra swaps.
+func median3(a, m, z float64) float64 {
+	if m < a {
+		a, m = m, a
+	}
+	if z < m {
+		m = z
+		if m < a {
+			m = a
+		}
+	}
+	return m
+}
+
+// selectNth partially sorts working points [lo,hi) so position nth
+// holds the point that would be there in full sorted order by the dim
+// coordinate (Hoare quickselect, median-of-three pivot values). All
+// coordinate columns and the index array are swapped together, keeping
+// the working copy permuted in lockstep — the comparisons read the
+// split dimension's contiguous column directly.
+func (b *builder) selectNth(lo, hi, nth, dim int, pl *pool) {
+	if b.layout == storage.ColMajor {
+		b.selectNthCols(lo, hi, nth, dim)
+		return
+	}
+	b.selectNthRows(lo, hi, nth, dim, pl)
+}
+
+// selectNthCols is the column-major quickselect: comparisons run over
+// the split dimension's column, swaps mirror into the (at most
+// ColMajorMaxDim-1) remaining columns and the index array.
+func (b *builder) selectNthCols(lo, hi, nth, dim int) {
+	key := b.col(dim)
+	id := b.idx
+	var o1, o2, o3 []float64
+	{
+		var os [3][]float64
+		k := 0
+		for j := 0; j < b.d; j++ {
+			if j != dim {
+				os[k] = b.col(j)
+				k++
+			}
+		}
+		o1, o2, o3 = os[0], os[1], os[2]
+	}
 	for hi-lo > 1 {
-		// Median-of-three pivot.
-		mid := lo + (hi-lo)/2
-		if key(mid) < key(lo) {
-			b.idx[mid], b.idx[lo] = b.idx[lo], b.idx[mid]
-		}
-		if key(hi-1) < key(lo) {
-			b.idx[hi-1], b.idx[lo] = b.idx[lo], b.idx[hi-1]
-		}
-		if key(hi-1) < key(mid) {
-			b.idx[hi-1], b.idx[mid] = b.idx[mid], b.idx[hi-1]
-		}
-		pivot := key(mid)
+		pivot := median3(key[lo], key[lo+(hi-lo)/2], key[hi-1])
 		i, j := lo, hi-1
 		for i <= j {
-			for key(i) < pivot {
+			for key[i] < pivot {
 				i++
 			}
-			for key(j) > pivot {
+			for key[j] > pivot {
 				j--
 			}
 			if i <= j {
-				b.idx[i], b.idx[j] = b.idx[j], b.idx[i]
+				key[i], key[j] = key[j], key[i]
+				id[i], id[j] = id[j], id[i]
+				if o1 != nil {
+					o1[i], o1[j] = o1[j], o1[i]
+					if o2 != nil {
+						o2[i], o2[j] = o2[j], o2[i]
+						if o3 != nil {
+							o3[i], o3[j] = o3[j], o3[i]
+						}
+					}
+				}
 				i++
 				j--
 			}
@@ -281,61 +568,261 @@ func (b *builder) selectNth(lo, hi, nth, dim int) {
 	}
 }
 
-// computeAggregates fills Mass and Centroid bottom-up.
-func computeAggregates(n *Node, t *Tree) {
+// selectNthRows is the row-major quickselect: the dim coordinates are
+// extracted once into a contiguous key buffer and rows are swapped
+// whole (a row swap is a contiguous d-element exchange).
+func (b *builder) selectNthRows(lo, hi, nth, dim int, pl *pool) {
+	d := b.d
+	keys := pl.keySlice(hi - lo)
+	for i := lo; i < hi; i++ {
+		keys[i-lo] = b.work[i*d+dim]
+	}
+	id := b.idx[lo:hi]
+	n := nth - lo
+	klo, khi := 0, len(keys)
+	for khi-klo > 1 {
+		pivot := median3(keys[klo], keys[klo+(khi-klo)/2], keys[khi-1])
+		i, j := klo, khi-1
+		for i <= j {
+			for keys[i] < pivot {
+				i++
+			}
+			for keys[j] > pivot {
+				j--
+			}
+			if i <= j {
+				keys[i], keys[j] = keys[j], keys[i]
+				id[i], id[j] = id[j], id[i]
+				ri, rj := b.row(lo+i), b.row(lo+j)
+				for k, v := range ri {
+					ri[k], rj[k] = rj[k], v
+				}
+				i++
+				j--
+			}
+		}
+		switch {
+		case n <= j:
+			khi = j + 1
+		case n >= i:
+			klo = i
+		default:
+			return
+		}
+	}
+}
+
+// finish flattens the build hierarchy into the preorder arena,
+// gathers the reordered storage and weights, and computes node
+// aggregates — the gather and the leaf-aggregate phase run chunked
+// across the build's worker cap.
+func (b *builder) finish(root *bnode) *Tree {
+	// Pass 1: size the arena (iterative preorder walk).
+	nodeCount, leafCount, maxDepth := 0, 0, 0
+	stack := make([]*bnode, 1, 64)
+	stack[0] = root
+	for len(stack) > 0 {
+		bn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodeCount++
+		if len(bn.kids) == 0 {
+			leafCount++
+		}
+		if bn.depth > maxDepth {
+			maxDepth = bn.depth
+		}
+		stack = append(stack, bn.kids...)
+	}
+
+	d := b.d
+	t := &Tree{
+		Nodes:     make([]Node, nodeCount),
+		Parent:    make([]int32, nodeCount),
+		Index:     b.idx,
+		LeafSize:  b.leaf,
+		NodeCount: nodeCount,
+		LeafCount: leafCount,
+		MaxDepth:  maxDepth,
+		Build: stats.TreeBuildStats{
+			Workers:         b.workers,
+			TasksSpawned:    atomic.LoadInt64(&b.spawned),
+			InlineFallbacks: atomic.LoadInt64(&b.inline),
+		},
+		coords: make([]float64, 4*d*nodeCount),
+	}
+	if nodeCount > 1 {
+		t.childRefs = make([]*Node, nodeCount-1)
+	}
+
+	// Pass 2: preorder fill — IDs, parent links, coordinate views.
+	id, kidOff := 0, 0
+	var fill func(bn *bnode, parent int32)
+	fill = func(bn *bnode, parent int32) {
+		i := id
+		id++
+		t.Parent[i] = parent
+		off := 4 * d * i
+		co := t.coords[off : off+4*d : off+4*d]
+		min, max := co[:d:d], co[d:2*d:2*d]
+		center, centroid := co[2*d:3*d:3*d], co[3*d:]
+		copy(min, bn.bbox.Min)
+		copy(max, bn.bbox.Max)
+		for j := 0; j < d; j++ {
+			center[j] = 0.5 * (min[j] + max[j])
+		}
+		nd := &t.Nodes[i]
+		nd.ID = i
+		nd.Begin, nd.End = bn.begin, bn.end
+		nd.Depth = bn.depth
+		nd.BBox = geom.Rect{Min: min, Max: max}
+		nd.Center = center
+		nd.Centroid = centroid
+		if len(bn.kids) > 0 {
+			ks := t.childRefs[kidOff : kidOff+len(bn.kids) : kidOff+len(bn.kids)]
+			kidOff += len(bn.kids)
+			nd.Children = ks
+			for ci, kid := range bn.kids {
+				cid := id
+				fill(kid, int32(i))
+				ks[ci] = &t.Nodes[cid]
+			}
+		}
+	}
+	fill(root, -1)
+	t.Root = &t.Nodes[0]
+
+	// Publish the in-place-partitioned working copy as the reordered
+	// storage — zero-copy: the build permuted the data alongside the
+	// index array, so no gather pass is needed. Weights are permuted
+	// chunked across the worker cap.
+	t.Data = storage.FromFlat(b.n, b.d, b.layout, b.work)
+	if b.weights != nil {
+		w := make([]float64, len(b.idx))
+		b.parallelRange(len(b.idx), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w[i] = b.weights[b.idx[i]]
+			}
+		})
+		t.Weights = w
+	}
+
+	b.computeAggregates(t)
+	return t
+}
+
+// parallelRange splits [0,n) into chunks across the build's worker
+// cap; the calling goroutine runs the first chunk itself, so at most
+// `workers` goroutines execute fn concurrently.
+func (b *builder) parallelRange(n int, fn func(lo, hi int)) {
+	w := b.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for g := 1; g < w; g++ {
+		lo := g * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			hookEnter()
+			fn(lo, hi)
+			hookExit()
+		}(lo, hi)
+	}
+	hookEnter()
+	fn(0, chunk)
+	hookExit()
+	wg.Wait()
+}
+
+// computeAggregates fills Mass and Centroid: leaf sums run parallel
+// over leaf chunks (the O(n·d) part), then one backward scan of the
+// preorder arena folds children into parents — every child index is
+// greater than its parent's, so a single reverse pass is a complete
+// bottom-up aggregation.
+func (b *builder) computeAggregates(t *Tree) {
 	d := t.Dim()
-	n.Centroid = make([]float64, d)
-	if n.IsLeaf() {
-		p := make([]float64, d)
-		var mass float64
+	leaves := t.Leaves()
+	b.parallelRange(len(leaves), func(lo, hi int) {
+		for _, n := range leaves[lo:hi] {
+			leafAggregate(t, n, d)
+		}
+	})
+	nodes := t.Nodes
+	for i := len(nodes) - 1; i >= 1; i-- {
+		nd := &nodes[i]
+		par := &nodes[t.Parent[i]]
+		par.Mass += nd.Mass
+		for j := 0; j < d; j++ {
+			par.Centroid[j] += nd.Centroid[j]
+		}
+		normalizeCentroid(nd, d)
+	}
+	normalizeCentroid(&nodes[0], d)
+}
+
+// leafAggregate computes a leaf's raw mass and unnormalized centroid
+// sum from the gathered (contiguous) storage.
+func leafAggregate(t *Tree, n *Node, d int) {
+	var mass float64
+	if t.Data.Layout() == storage.ColMajor {
+		if t.Weights == nil {
+			mass = float64(n.Count())
+			for j := 0; j < d; j++ {
+				col := t.Data.Col(j)[n.Begin:n.End]
+				var s float64
+				for _, v := range col {
+					s += v
+				}
+				n.Centroid[j] = s
+			}
+		} else {
+			w := t.Weights[n.Begin:n.End]
+			for _, wi := range w {
+				mass += wi
+			}
+			for j := 0; j < d; j++ {
+				col := t.Data.Col(j)[n.Begin:n.End]
+				var s float64
+				for i, v := range col {
+					s += w[i] * v
+				}
+				n.Centroid[j] = s
+			}
+		}
+	} else {
 		for i := n.Begin; i < n.End; i++ {
 			w := 1.0
 			if t.Weights != nil {
 				w = t.Weights[i]
 			}
-			t.Data.Point(i, p)
-			for j := 0; j < d; j++ {
-				n.Centroid[j] += w * p[j]
+			row := t.Data.Row(i)
+			for j, v := range row {
+				n.Centroid[j] += w * v
 			}
 			mass += w
 		}
-		n.Mass = mass
-	} else {
-		for _, c := range n.Children {
-			computeAggregates(c, t)
-			n.Mass += c.Mass
-			for j := 0; j < d; j++ {
-				n.Centroid[j] += c.Mass * c.Centroid[j]
-			}
-		}
 	}
+	n.Mass = mass
+}
+
+func normalizeCentroid(n *Node, d int) {
 	if n.Mass > 0 {
 		inv := 1 / n.Mass
 		for j := 0; j < d; j++ {
 			n.Centroid[j] *= inv
 		}
 	}
-}
-
-// Walk visits every node in pre-order.
-func (t *Tree) Walk(f func(*Node)) {
-	var rec func(*Node)
-	rec = func(n *Node) {
-		f(n)
-		for _, c := range n.Children {
-			rec(c)
-		}
-	}
-	rec(t.Root)
-}
-
-// Leaves returns all leaf nodes in left-to-right order.
-func (t *Tree) Leaves() []*Node {
-	var out []*Node
-	t.Walk(func(n *Node) {
-		if n.IsLeaf() {
-			out = append(out, n)
-		}
-	})
-	return out
 }

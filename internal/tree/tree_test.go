@@ -348,12 +348,9 @@ func TestSelectNthAdversarial(t *testing.T) {
 			rows[i] = []float64{gen(i), float64(i)}
 		}
 		s := storage.MustFromRows(rows)
-		b := &builder{src: s, idx: make([]int, n), leaf: 1, d: 2}
-		for i := range b.idx {
-			b.idx[i] = i
-		}
+		b := newBuilder(s, &Options{LeafSize: 1})
 		mid := n / 2
-		b.selectNth(0, n, mid, 0)
+		b.selectNth(0, n, mid, 0, &pool{})
 		pivot := s.At(b.idx[mid], 0)
 		for i := 0; i < mid; i++ {
 			if s.At(b.idx[i], 0) > pivot {
