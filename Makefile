@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree stats
+.PHONY: check build vet test race bench bench-tree bench-compare stats trace-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
-check: build vet test race
+check: build vet test race trace-smoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The traversal, engine, and tree build are where parallelism lives;
-# run them under the race detector explicitly.
+# The traversal, engine, tree build, and trace recorder are where
+# parallelism lives; run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/...
+	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -28,5 +28,21 @@ bench-tree:
 	$(GO) test -bench=BenchmarkTreeBuild -benchmem ./internal/bench/
 	$(GO) run ./cmd/portalbench -experiment treebuild -reps 3 -json BENCH_treebuild.json
 
+# Regression gate: rerun the recorded BENCH_treebuild.json
+# configurations and fail on >25% wall-time regression.
+bench-compare:
+	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json -reps 3
+
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000
+
+# End-to-end tracing smoke test: run a 10k-point KDE with the tracer
+# attached, then validate the Chrome trace JSON against the stats
+# report (span count == TasksSpawned+1, depth profiles reconcile).
+trace-smoke:
+	@mkdir -p /tmp/portal-trace-smoke
+	$(GO) run ./cmd/portalgen -dataset IHEPC -n 10000 -seed 1 -o /tmp/portal-trace-smoke/ihepc.csv
+	$(GO) run ./cmd/portal -problem kde -query /tmp/portal-trace-smoke/ihepc.csv -workers 4 \
+		-trace /tmp/portal-trace-smoke/trace.json -stats-json /tmp/portal-trace-smoke/stats.json
+	$(GO) run ./internal/trace/tracecheck \
+		-trace /tmp/portal-trace-smoke/trace.json -stats /tmp/portal-trace-smoke/stats.json

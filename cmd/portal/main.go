@@ -16,6 +16,11 @@
 // Add -stats to print traversal statistics (prunes, approximations,
 // base-case pairs, kernel evaluations, phase timings) to stderr, or
 // -stats-json FILE to capture them as JSON.
+//
+// Profiling: -trace FILE records an execution trace (build, traversal,
+// and finalize spans plus per-depth decision profiles) and writes it
+// as Chrome trace-event JSON loadable in Perfetto or chrome://tracing;
+// -pprof DIR captures cpu.pprof and heap.pprof around the run.
 package main
 
 import (
@@ -23,13 +28,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
-
-	"encoding/json"
 
 	"portal/internal/problems"
 	"portal/internal/stats"
 	"portal/internal/storage"
+	"portal/internal/trace"
 	"portal/nbody"
 )
 
@@ -51,6 +58,8 @@ func main() {
 	workers := flag.Int("workers", 0, "cap worker goroutines for tree build and traversal (0 = GOMAXPROCS)")
 	statsFlag := flag.Bool("stats", false, "print traversal statistics to stderr after the run")
 	statsJSON := flag.String("stats-json", "", "write traversal statistics as JSON to this file ('-' for stderr)")
+	traceOut := flag.String("trace", "", "write an execution trace (Chrome trace-event JSON) to this file")
+	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	flag.Parse()
 
 	if *problem == "" || *queryPath == "" {
@@ -70,6 +79,26 @@ func main() {
 	if *statsFlag || *statsJSON != "" {
 		sink = &stats.Report{}
 		cfg.StatsSink = sink
+	}
+	var rec *trace.Collector
+	if *traceOut != "" {
+		rec = trace.New()
+		cfg.Trace = rec
+	}
+	if *pprofDir != "" {
+		fatal(os.MkdirAll(*pprofDir, 0o755))
+		f, err := os.Create(filepath.Join(*pprofDir, "cpu.pprof"))
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			hf, err := os.Create(filepath.Join(*pprofDir, "heap.pprof"))
+			fatal(err)
+			defer hf.Close()
+			runtime.GC()
+			fatal(pprof.WriteHeapProfile(hf))
+		}()
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -140,6 +169,7 @@ func main() {
 		acc, err := nbody.BarnesHut(query, nil, problems.BHConfig{
 			Theta: *theta, Eps: *eps, LeafSize: *leaf,
 			Parallel: !*seq, Workers: *workers,
+			Stats: sink, Trace: cfg.Trace,
 		})
 		fatal(err)
 		for _, a := range acc {
@@ -150,6 +180,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		fatal(rec.WriteChromeTrace(f))
+		fatal(f.Close())
+	}
 	if sink != nil {
 		if sink.Rounds == 0 {
 			fmt.Fprintf(os.Stderr, "portal: no traversal statistics collected for %q\n", *problem)
@@ -159,7 +195,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, sink.String())
 		}
 		if *statsJSON != "" {
-			b, err := json.MarshalIndent(sink, "", "  ")
+			b, err := sink.JSON()
 			fatal(err)
 			b = append(b, '\n')
 			if *statsJSON == "-" {

@@ -9,15 +9,27 @@
 //	portalbench -experiment table5          # Portal vs libraries (Table V)
 //	portalbench -stats [-scale N]           # traversal statistics (JSON on stdout)
 //	portalbench -experiment all [-scale N] [-seq] [-reps R]
+//	portalbench -compare BENCH_treebuild.json   # regression gate (exit 1 on >25%)
+//
+// -workers caps worker goroutines in every experiment's tree build and
+// traversal. -json FILE writes the machine-readable form of any
+// experiment. -trace FILE records an execution trace of the
+// Portal-side runs as Chrome trace-event JSON; -pprof DIR captures
+// cpu.pprof and heap.pprof around the measured region.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"portal/internal/bench"
 	"portal/internal/dataset"
+	"portal/internal/trace"
 )
 
 func main() {
@@ -28,77 +40,134 @@ func main() {
 	seq := flag.Bool("seq", false, "disable parallel traversal")
 	reps := flag.Int("reps", 1, "repetitions per measurement (min kept)")
 	leaf := flag.Int("leaf", 32, "tree leaf size q")
-	workers := flag.Int("workers", 8, "parallel worker cap for the treebuild experiment")
+	workers := flag.Int("workers", 0,
+		"cap worker goroutines in every experiment's tree build and traversal (0 = GOMAXPROCS; the treebuild experiment's parallel cells default to 8)")
 	statsFlag := flag.Bool("stats", false,
 		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
-	jsonPath := flag.String("json", "", "with -stats or -experiment treebuild, also write the JSON array to this file")
+	jsonPath := flag.String("json", "", "write the experiment's machine-readable JSON to this file (any experiment)")
+	compare := flag.String("compare", "", "rerun the tree-build experiment against this BENCH_treebuild.json baseline and exit non-zero on >25% regression")
+	traceOut := flag.String("trace", "", "write an execution trace of the Portal-side runs (Chrome trace-event JSON) to this file")
+	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	flag.Parse()
 
 	o := bench.Options{
 		Scale:    *scale,
 		Seed:     *seed,
 		Parallel: !*seq,
+		Workers:  *workers,
 		LeafSize: *leaf,
 		Reps:     *reps,
+	}
+	var rec *trace.Collector
+	if *traceOut != "" {
+		rec = trace.New()
+		o.Trace = rec
+	}
+	// finish flushes profiles and the trace; it must run before every
+	// exit path (including the regression exit) and is idempotent.
+	finish := func() {}
+	if *pprofDir != "" {
+		fail(os.MkdirAll(*pprofDir, 0o755))
+		f, err := os.Create(filepath.Join(*pprofDir, "cpu.pprof"))
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		stopped := false
+		finish = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			pprof.StopCPUProfile()
+			f.Close()
+			hf, err := os.Create(filepath.Join(*pprofDir, "heap.pprof"))
+			fail(err)
+			defer hf.Close()
+			runtime.GC()
+			fail(pprof.WriteHeapProfile(hf))
+		}
+	}
+	writeTrace := func() {
+		if rec == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(rec.WriteChromeTrace(f))
+		fail(f.Close())
+	}
+
+	if *compare != "" {
+		baseline, err := bench.LoadTreeBuildBaseline(*compare)
+		fail(err)
+		fmt.Printf("== Tree-build regression gate vs %s (tolerance 25%%) ==\n", *compare)
+		regs := bench.CompareTreeBuild(o, baseline, 0.25, os.Stdout)
+		writeJSON(*jsonPath, regs)
+		finish()
+		writeTrace()
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "portalbench: %d of %d configurations regressed >25%%\n",
+				len(regs), len(baseline))
+			os.Exit(1)
+		}
+		fmt.Printf("all %d configurations within tolerance\n", len(baseline))
+		return
 	}
 
 	if *statsFlag || *experiment == "stats" {
 		reports := bench.StatsReports(o, os.Stderr)
 		b, err := bench.StatsJSON(reports)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "portalbench:", err)
-			os.Exit(1)
-		}
+		fail(err)
 		fmt.Println(string(b))
 		if *jsonPath != "" {
-			if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "portalbench:", err)
-				os.Exit(1)
-			}
+			fail(os.WriteFile(*jsonPath, b, 0o644))
 		}
+		finish()
+		writeTrace()
 		return
 	}
 
+	// jsonOut collects the experiment's machine-readable result for
+	// -json; every experiment fills it.
+	var jsonOut any
 	var t4, t5 []bench.Row
 	switch *experiment {
 	case "table2":
-		fmt.Print(dataset.Summary(*scale))
+		s := dataset.Summary(*scale)
+		fmt.Print(s)
+		jsonOut = map[string]any{"experiment": "table2", "scale": *scale, "summary": s}
 	case "table4":
 		fmt.Println("== Table IV: Portal vs expert (hand-optimized) ==")
 		t4 = bench.Table4(o, os.Stdout)
+		jsonOut = t4
 	case "table4-loc":
 		fmt.Println("== Table IV (LOC): Portal program size vs expert ==")
 		fmt.Print(bench.Table4LOC())
+		jsonOut = bench.Table4LOCRows()
 	case "table5":
 		fmt.Println("== Table V: Portal vs library baselines ==")
 		t5 = bench.Table5(o, os.Stdout)
+		jsonOut = t5
 	case "crossover":
 		fmt.Println("== Crossover: tree-based vs brute force (k-NN) ==")
-		bench.Crossover(o, os.Stdout)
+		jsonOut = bench.Crossover(o, os.Stdout)
 	case "leafsweep":
 		fmt.Println("== Leaf size sweep (k-NN) ==")
-		bench.LeafSweep(o, os.Stdout)
+		jsonOut = bench.LeafSweep(o, os.Stdout)
 	case "workersweep":
 		fmt.Println("== Worker sweep (k-NN) ==")
-		bench.WorkerSweep(o, os.Stdout)
+		jsonOut = bench.WorkerSweep(o, os.Stdout)
 	case "tausweep":
 		fmt.Println("== KDE tau accuracy/time sweep ==")
-		bench.TauSweep(o, os.Stdout)
+		jsonOut = bench.TauSweep(o, os.Stdout)
 	case "treebuild":
 		fmt.Println("== Tree construction (serial vs parallel arena build) ==")
 		results := bench.TreeBuild(o, *workers, os.Stdout)
-		b, err := bench.TreeBuildJSON(results)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "portalbench:", err)
-			os.Exit(1)
-		}
-		if *jsonPath != "" {
-			b = append(b, '\n')
-			if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "portalbench:", err)
-				os.Exit(1)
-			}
-		} else {
+		jsonOut = results
+		if *jsonPath == "" {
+			// Historical behaviour: treebuild prints its JSON to stdout
+			// when no -json file is given (make bench-tree pipes it).
+			b, err := bench.TreeBuildJSON(results)
+			fail(err)
 			fmt.Println(string(b))
 		}
 	case "all":
@@ -110,6 +179,7 @@ func main() {
 		fmt.Print(bench.Table4LOC())
 		fmt.Println("\n== Table V: Portal vs library baselines ==")
 		t5 = bench.Table5(o, os.Stdout)
+		jsonOut = map[string]any{"table4": t4, "table4_loc": bench.Table4LOCRows(), "table5": t5}
 	default:
 		fmt.Fprintf(os.Stderr, "portalbench: unknown experiment %q\n", *experiment)
 		os.Exit(1)
@@ -117,5 +187,25 @@ func main() {
 	if s := bench.Summary(t4, t5); s != "" {
 		fmt.Println("\n== Shape summary ==")
 		fmt.Print(s)
+	}
+	writeJSON(*jsonPath, jsonOut)
+	finish()
+	writeTrace()
+}
+
+func writeJSON(path string, v any) {
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	fail(err)
+	b = append(b, '\n')
+	fail(os.WriteFile(path, b, 0o644))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "portalbench:", err)
+		os.Exit(1)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"portal/internal/dataset"
 	"portal/internal/problems"
 	"portal/internal/storage"
+	"portal/internal/trace"
 )
 
 // Options configure a harness run.
@@ -41,10 +42,16 @@ type Options struct {
 	Seed int64
 	// Parallel runs the parallel traversals (the paper always does).
 	Parallel bool
+	// Workers caps worker goroutines in every experiment's tree build
+	// and traversal (0 = GOMAXPROCS). Ignored unless Parallel is set.
+	Workers int
 	// LeafSize is the tree leaf capacity q.
 	LeafSize int
 	// Reps repeats each measurement and keeps the minimum (default 1).
 	Reps int
+	// Trace, when non-nil, records execution traces of the Portal-side
+	// runs (threaded into each experiment's engine config).
+	Trace trace.Recorder
 }
 
 func (o Options) fill() Options {
@@ -60,16 +67,17 @@ func (o Options) fill() Options {
 	return o
 }
 
-// Row is one measurement cell.
+// Row is one measurement cell. Durations marshal as integer
+// nanoseconds (the -json output of cmd/portalbench).
 type Row struct {
-	Problem  string
-	Dataset  string
-	Portal   time.Duration
-	Baseline time.Duration
+	Problem  string        `json:"problem"`
+	Dataset  string        `json:"dataset"`
+	Portal   time.Duration `json:"portal_ns"`
+	Baseline time.Duration `json:"baseline_ns"`
 	// DiffPct is (Portal-Baseline)/Baseline*100 for Table IV;
 	// Factor is Baseline/Portal for Table V.
-	DiffPct float64
-	Factor  float64
+	DiffPct float64 `json:"diff_pct,omitempty"`
+	Factor  float64 `json:"factor,omitempty"`
 }
 
 func timeIt(reps int, f func()) time.Duration {
@@ -126,9 +134,9 @@ func pickRadius(s *storage.Storage, seed int64) float64 {
 func Table4(o Options, w io.Writer) []Row {
 	o = o.fill()
 	var rows []Row
-	cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel,
-		Codegen: codegen.Options{NoStats: true}}
-	opts := expert.Options{LeafSize: o.LeafSize, Parallel: o.Parallel}
+	cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel, Workers: o.Workers,
+		Codegen: codegen.Options{NoStats: true}, Trace: o.Trace}
+	opts := expert.Options{LeafSize: o.LeafSize, Parallel: o.Parallel, Workers: o.Workers}
 
 	for _, ds := range dataset.MLNames() {
 		data := dataset.MustGenerate(ds, o.Scale, o.Seed)
@@ -216,18 +224,18 @@ func Table4(o Options, w io.Writer) []Row {
 
 // LOCRow is one row of the Table IV lines-of-code comparison.
 type LOCRow struct {
-	Problem string
+	Problem string `json:"problem"`
 	// Portal counts the problem-specification lines (the Spec builder
 	// in internal/problems; for the iterative problems MST and EM the
 	// native driver is counted separately in Driver, mirroring the
 	// paper's "30 lines of Portal code and 74 lines of native C++").
-	Portal int
+	Portal int `json:"portal"`
 	// Driver counts native iterative-driver lines (0 for one-shot
 	// problems).
-	Driver int
+	Driver int `json:"driver"`
 	// Expert counts the hand-optimized implementation lines in
 	// internal/baselines/expert.
-	Expert int
+	Expert int `json:"expert"`
 }
 
 // Table4LOCRows returns the measured lines-of-code comparison.
@@ -261,8 +269,8 @@ func Table4LOC() string {
 func Table5(o Options, w io.Writer) []Row {
 	o = o.fill()
 	var rows []Row
-	cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel,
-		Codegen: codegen.Options{NoStats: true}}
+	cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel, Workers: o.Workers,
+		Codegen: codegen.Options{NoStats: true}, Trace: o.Trace}
 
 	// 2-point correlation: Portal vs scikit-learn-style.
 	for _, ds := range dataset.MLNames() {
@@ -346,7 +354,8 @@ func Table5(o Options, w io.Writer) []Row {
 	// Barnes-Hut: Portal vs FDPS-style on Elliptical.
 	ell := dataset.GenerateElliptical(o.Scale, o.Seed)
 	mass := dataset.EllipticalMasses(o.Scale)
-	bhCfg := problems.BHConfig{Theta: 0.5, Eps: 0.05, LeafSize: o.LeafSize, Parallel: o.Parallel}
+	bhCfg := problems.BHConfig{Theta: 0.5, Eps: 0.05, LeafSize: o.LeafSize,
+		Parallel: o.Parallel, Workers: o.Workers, Trace: o.Trace}
 	pt := timeIt(o.Reps, func() {
 		if _, err := problems.BarnesHut(ell, mass, bhCfg); err != nil {
 			panic(err)
@@ -354,7 +363,7 @@ func Table5(o Options, w io.Writer) []Row {
 	})
 	ft := timeIt(o.Reps, func() {
 		if _, err := fdpslike.BarnesHut(ell, mass, fdpslike.Options{
-			Theta: 0.5, Eps: 0.05, LeafSize: o.LeafSize, Parallel: o.Parallel,
+			Theta: 0.5, Eps: 0.05, LeafSize: o.LeafSize, Parallel: o.Parallel, Workers: o.Workers,
 		}); err != nil {
 			panic(err)
 		}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"portal/internal/storage"
+)
+
+// This file implements the bench-regression gate: rerun the
+// tree-build experiment against a stored BENCH_treebuild.json
+// baseline and flag configurations that got materially slower. The
+// gate compares wall time only — allocation counts are asserted
+// exactly by the build benchmarks' own tests, and node/task counters
+// are deterministic.
+
+// Regression is one baseline configuration that got slower than the
+// tolerance allows.
+type Regression struct {
+	Tree       string  `json:"tree"`
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	BaselineNS int64   `json:"baseline_ns"`
+	CurrentNS  int64   `json:"current_ns"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// CompareTreeBuild reruns every configuration recorded in baseline
+// (same tree kind, N, and worker cap — Options.Scale is ignored) and
+// returns the configurations whose wall time regressed by more than
+// tol (0.25 = 25% slower). Per-configuration verdicts go to w when
+// non-nil.
+func CompareTreeBuild(o Options, baseline []TreeBuildResult, tol float64, w io.Writer) []Regression {
+	o = o.fill()
+	cache := map[int]*storage.Storage{}
+	var regs []Regression
+	for _, base := range baseline {
+		data, ok := cache[base.N]
+		if !ok {
+			data = normal3D(base.N, o.Seed)
+			cache[base.N] = data
+		}
+		cur := measureTreeBuild(o, data, base.Tree, base.Workers)
+		ratio := float64(cur.WallNS) / float64(base.WallNS)
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSION"
+			regs = append(regs, Regression{
+				Tree: base.Tree, N: base.N, Workers: base.Workers,
+				BaselineNS: base.WallNS, CurrentNS: cur.WallNS, Ratio: ratio,
+			})
+		}
+		if w != nil {
+			fmt.Fprintf(w, "%-3s N=%-8d workers=%-2d baseline=%-12v current=%-12v ratio=%.2f %s\n",
+				base.Tree, base.N, base.Workers,
+				time.Duration(base.WallNS), time.Duration(cur.WallNS), ratio, verdict)
+		}
+	}
+	return regs
+}
+
+// LoadTreeBuildBaseline reads a BENCH_treebuild.json file.
+func LoadTreeBuildBaseline(path string) ([]TreeBuildResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var baseline []TreeBuildResult
+	if err := json.Unmarshal(b, &baseline); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("bench: %s: empty baseline", path)
+	}
+	return baseline, nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A baseline claiming 1ns builds must flag every configuration; one
+// claiming hour-long builds must flag none. Tiny N keeps the reruns
+// cheap.
+func TestCompareTreeBuild(t *testing.T) {
+	o := Options{Scale: 2000, Seed: 1, LeafSize: 32, Reps: 1}
+	baseline := []TreeBuildResult{
+		{Tree: "kd", N: 2000, Workers: 1, WallNS: 1},
+		{Tree: "oct", N: 2000, Workers: 2, WallNS: 1},
+	}
+	var buf bytes.Buffer
+	regs := CompareTreeBuild(o, baseline, 0.25, &buf)
+	if len(regs) != 2 {
+		t.Fatalf("impossible 1ns baseline: %d regressions, want 2\n%s", len(regs), buf.String())
+	}
+	for i, r := range regs {
+		if r.Ratio <= 1.25 {
+			t.Errorf("regression %d ratio = %v, want > 1.25", i, r.Ratio)
+		}
+		if r.Tree != baseline[i].Tree || r.N != baseline[i].N || r.Workers != baseline[i].Workers {
+			t.Errorf("regression %d = %+v, want config of %+v", i, r, baseline[i])
+		}
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("REGRESSION")) {
+		t.Error("verdict output missing REGRESSION marker")
+	}
+
+	generous := []TreeBuildResult{
+		{Tree: "kd", N: 2000, Workers: 1, WallNS: int64(3600) * 1e9},
+		{Tree: "oct", N: 2000, Workers: 2, WallNS: int64(3600) * 1e9},
+	}
+	buf.Reset()
+	if regs := CompareTreeBuild(o, generous, 0.25, &buf); len(regs) != 0 {
+		t.Fatalf("hour-long baseline flagged %d regressions:\n%s", len(regs), buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("ok")) {
+		t.Error("verdict output missing ok marker")
+	}
+}
+
+func TestLoadTreeBuildBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`[{"tree":"kd","n":1000,"workers":2,"wall_ns":12345}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadTreeBuildBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != 1 || baseline[0].Tree != "kd" || baseline[0].WallNS != 12345 {
+		t.Fatalf("baseline = %+v", baseline)
+	}
+
+	for name, content := range map[string]string{
+		"empty.json":   `[]`,
+		"invalid.json": `{nope`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadTreeBuildBaseline(p); err == nil {
+			t.Errorf("%s: loaded, want error", name)
+		}
+	}
+	if _, err := LoadTreeBuildBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: loaded, want error")
+	}
+}
+
+// The regression gate reruns the baseline's own configurations, so a
+// baseline produced by TreeBuild at the same scale must compare
+// against itself without flagging (tolerance is generous at tiny N,
+// but a self-comparison that regresses >25x would be a real bug; use
+// a huge tolerance to keep this non-flaky on loaded machines).
+func TestCompareTreeBuildSelfBaseline(t *testing.T) {
+	o := Options{Scale: 2000, Seed: 1, LeafSize: 32, Reps: 1}
+	data := normal3D(2000, o.Seed)
+	base := []TreeBuildResult{measureTreeBuild(o.fill(), data, "kd", 1)}
+	if regs := CompareTreeBuild(o, base, 25, nil); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed >25x: %+v", regs)
+	}
+}

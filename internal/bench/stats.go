@@ -50,7 +50,8 @@ func StatsReports(o Options, w io.Writer) []*stats.Report {
 	var reports []*stats.Report
 	for _, r := range runs {
 		sink := &stats.Report{}
-		cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel, StatsSink: sink}
+		cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel, Workers: o.Workers,
+			StatsSink: sink, Trace: o.Trace}
 		if err := r.run(cfg); err != nil {
 			panic(fmt.Sprintf("bench stats %s: %v", r.name, err))
 		}

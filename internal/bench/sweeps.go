@@ -23,7 +23,7 @@ import (
 func Crossover(o Options, w io.Writer) []Row {
 	o = o.fill()
 	var rows []Row
-	cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel,
+	cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel, Workers: o.Workers,
 		Codegen: codegen.Options{NoStats: true}}
 	for n := 250; n <= o.Scale; n *= 2 {
 		data := dataset.MustGenerate("IHEPC", n, o.Seed)
@@ -55,7 +55,7 @@ func LeafSweep(o Options, w io.Writer) []Row {
 	var rows []Row
 	data := dataset.MustGenerate("IHEPC", o.Scale, o.Seed)
 	for _, leaf := range []int{4, 8, 16, 32, 64, 128, 256} {
-		cfg := problems.Config{LeafSize: leaf, Parallel: o.Parallel,
+		cfg := problems.Config{LeafSize: leaf, Parallel: o.Parallel, Workers: o.Workers,
 			Codegen: codegen.Options{NoStats: true}}
 		pt := timeIt(o.Reps, func() {
 			if _, _, err := problems.KNN(data, data, 5, cfg); err != nil {
@@ -106,7 +106,7 @@ func TauSweep(o Options, w io.Writer) []Row {
 	sigma := problems.SilvermanBandwidth(data)
 	var exact []float64
 	for _, tau := range []float64{1e-9, 1e-6, 1e-4, 1e-2, 1e-1} {
-		cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel, Tau: tau,
+		cfg := problems.Config{LeafSize: o.LeafSize, Parallel: o.Parallel, Workers: o.Workers, Tau: tau,
 			Codegen: codegen.Options{NoStats: true}}
 		var vals []float64
 		pt := timeIt(o.Reps, func() {

@@ -58,23 +58,8 @@ func TreeBuild(o Options, workers int, w io.Writer) []TreeBuildResult {
 		}
 		data := normal3D(n, o.Seed)
 		for _, kind := range []string{"kd", "oct"} {
-			build := tree.BuildKD
-			if kind == "oct" {
-				build = tree.BuildOct
-			}
 			for _, wk := range []int{1, workers} {
-				opts := &tree.Options{LeafSize: o.LeafSize, Parallel: wk > 1, Workers: wk}
-				var tr *tree.Tree
-				wall := timeIt(o.Reps, func() { tr = build(data, opts) })
-				allocBytes, mallocs := measureBuildAllocs(func() { build(data, opts) })
-				res := TreeBuildResult{
-					Tree: kind, N: n, Dim: data.Dim(), Workers: wk,
-					WallNS:     wall.Nanoseconds(),
-					AllocBytes: allocBytes, Mallocs: mallocs,
-					NodeCount: tr.NodeCount, MaxDepth: tr.MaxDepth,
-					TasksSpawned:    tr.Build.TasksSpawned,
-					InlineFallbacks: tr.Build.InlineFallbacks,
-				}
+				res := measureTreeBuild(o, data, kind, wk)
 				results = append(results, res)
 				if w != nil {
 					fmt.Fprintf(w, "%-3s N=%-8d workers=%-2d %-12v nodes=%-7d allocs=%-8d tasks=%d\n",
@@ -84,6 +69,28 @@ func TreeBuild(o Options, workers int, w io.Writer) []TreeBuildResult {
 		}
 	}
 	return results
+}
+
+// measureTreeBuild times one (tree kind, worker cap) build
+// configuration over data — the measurement unit shared by TreeBuild
+// and the -compare regression gate.
+func measureTreeBuild(o Options, data *storage.Storage, kind string, wk int) TreeBuildResult {
+	build := tree.BuildKD
+	if kind == "oct" {
+		build = tree.BuildOct
+	}
+	opts := &tree.Options{LeafSize: o.LeafSize, Parallel: wk > 1, Workers: wk}
+	var tr *tree.Tree
+	wall := timeIt(o.Reps, func() { tr = build(data, opts) })
+	allocBytes, mallocs := measureBuildAllocs(func() { build(data, opts) })
+	return TreeBuildResult{
+		Tree: kind, N: data.Len(), Dim: data.Dim(), Workers: wk,
+		WallNS:     wall.Nanoseconds(),
+		AllocBytes: allocBytes, Mallocs: mallocs,
+		NodeCount: tr.NodeCount, MaxDepth: tr.MaxDepth,
+		TasksSpawned:    tr.Build.TasksSpawned,
+		InlineFallbacks: tr.Build.InlineFallbacks,
+	}
 }
 
 // TreeBuildJSON renders the results as indented JSON (the

@@ -22,6 +22,7 @@ import (
 	"portal/internal/passes"
 	"portal/internal/prune"
 	"portal/internal/stats"
+	"portal/internal/trace"
 	"portal/internal/traverse"
 	"portal/internal/tree"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// without changing their own signatures. Setting it implies
 	// CollectStats.
 	StatsSink *stats.Report
+	// Trace, when non-nil, records an execution trace: one span per
+	// build/traversal/finalize task plus per-depth decision profiles
+	// (see internal/trace). The recorder is threaded into the tree
+	// build and traversal; its summarized Profile is attached to the
+	// Report as Trace. Nil disables tracing at zero cost.
+	Trace trace.Recorder
 }
 
 func (c Config) collectStats() bool { return c.CollectStats || c.StatsSink != nil }
@@ -143,8 +150,8 @@ func finishCompile(plan *lower.Plan, prog *ir.Program, spec *lang.PortalExpr, cf
 // The -workers cap governs tree construction exactly as it governs the
 // traversal: Config.Workers is threaded through to tree.Options.
 func (p *Problem) BuildTrees(cfg Config) (qt, rt *tree.Tree) {
-	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers}
-	rOpts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Weights: cfg.Weights}
+	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Trace: cfg.Trace}
+	rOpts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Weights: cfg.Weights, Trace: cfg.Trace}
 	qData := p.Plan.Spec.Outer().Data
 	rData := p.Plan.Spec.Inner().Data
 	if cfg.Tree == Octree {
@@ -178,22 +185,32 @@ func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duratio
 	st := run.TraversalStats()
 	start := time.Now()
 	if cfg.Parallel {
-		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: cfg.Workers, Stats: st})
+		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: cfg.Workers, Stats: st, Trace: cfg.Trace})
 	} else {
-		traverse.RunStats(qt, rt, run, st)
+		// Workers:1 takes the sequential path inside RunParallel while
+		// still recording the walk as one root span when tracing is on.
+		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: 1, Stats: st, Trace: cfg.Trace})
 	}
 	traverseDur := time.Since(start)
 	start = time.Now()
+	var ft *trace.Task
+	if cfg.Trace != nil {
+		ft = cfg.Trace.TaskBegin(trace.PhaseFinalize, 0)
+	}
 	out := run.Finalize()
+	if ft != nil {
+		cfg.Trace.TaskEnd(ft)
+	}
 	if cfg.collectStats() {
 		rep := &stats.Report{
-			Problem:    p.Plan.Name,
-			Parallel:   cfg.Parallel,
-			Workers:    cfg.resolvedWorkers(),
-			QueryN:     int64(qt.Len()),
-			RefN:       int64(rt.Len()),
-			Rounds:     1,
-			TotalPairs: int64(qt.Len()) * int64(rt.Len()),
+			SchemaVersion: stats.ReportSchemaVersion,
+			Problem:       p.Plan.Name,
+			Parallel:      cfg.Parallel,
+			Workers:       cfg.resolvedWorkers(),
+			QueryN:        int64(qt.Len()),
+			RefN:          int64(rt.Len()),
+			Rounds:        1,
+			TotalPairs:    int64(qt.Len()) * int64(rt.Len()),
 			Phases: stats.Phases{
 				TreeBuild: buildDur,
 				Traversal: traverseDur,
@@ -206,6 +223,11 @@ func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duratio
 		if builtHere {
 			rep.Build.Add(qt.Build)
 			rep.Build.Add(rt.Build)
+		}
+		if cfg.Trace != nil {
+			// A cumulative snapshot of the recorder, not a per-round
+			// delta — Report.Merge keeps the latest one.
+			rep.Trace = cfg.Trace.Profile()
 		}
 		out.Report = rep
 		if cfg.StatsSink != nil {

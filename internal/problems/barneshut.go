@@ -3,10 +3,14 @@ package problems
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"portal/internal/fastmath"
 	"portal/internal/prune"
+	"portal/internal/stats"
 	"portal/internal/storage"
+	"portal/internal/trace"
 	"portal/internal/traverse"
 	"portal/internal/tree"
 )
@@ -34,6 +38,13 @@ type BHConfig struct {
 	Parallel bool
 	// Workers caps parallelism.
 	Workers int
+	// Stats, when non-nil, receives (via Merge) the execution's
+	// observability Report — Barnes-Hut's analogue of
+	// engine.Config.StatsSink.
+	Stats *stats.Report
+	// Trace, when non-nil, records the execution trace (build and
+	// traversal spans, depth profiles), as engine.Config.Trace does.
+	Trace trace.Recorder
 }
 
 // BarnesHut computes the acceleration on every particle. pos must be
@@ -57,10 +68,13 @@ func BarnesHut(pos *storage.Storage, mass []float64, cfg BHConfig) ([][]float64,
 			mass[i] = 1
 		}
 	}
+	buildStart := time.Now()
 	t := tree.BuildOct(pos, &tree.Options{
 		LeafSize: cfg.LeafSize, Weights: mass,
 		Parallel: cfg.Parallel, Workers: cfg.Workers,
+		Trace: cfg.Trace,
 	})
+	buildDur := time.Since(buildStart)
 	r := &bhRule{
 		t:     t,
 		theta: cfg.Theta,
@@ -68,15 +82,59 @@ func BarnesHut(pos *storage.Storage, mass []float64, cfg BHConfig) ([][]float64,
 		g:     cfg.G,
 		acc:   make([]float64, 3*n),
 	}
-	if cfg.Parallel {
-		traverse.RunParallel(t, t, r, traverse.Options{Workers: cfg.Workers})
-	} else {
-		traverse.Run(t, t, r)
+	var st *stats.TraversalStats
+	if cfg.Stats != nil {
+		st = &stats.TraversalStats{}
+	}
+	travStart := time.Now()
+	workers := cfg.Workers
+	if !cfg.Parallel {
+		// Workers:1 takes the sequential path inside RunParallel while
+		// still recording the walk as one root span when tracing is on.
+		workers = 1
+	}
+	traverse.RunParallel(t, t, r, traverse.Options{Workers: workers, Stats: st, Trace: cfg.Trace})
+	travDur := time.Since(travStart)
+	finStart := time.Now()
+	var ft *trace.Task
+	if cfg.Trace != nil {
+		ft = cfg.Trace.TaskBegin(trace.PhaseFinalize, 0)
 	}
 	out := make([][]float64, n)
 	for pos3 := 0; pos3 < n; pos3++ {
 		orig := t.Index[pos3]
 		out[orig] = []float64{r.acc[3*pos3], r.acc[3*pos3+1], r.acc[3*pos3+2]}
+	}
+	if ft != nil {
+		cfg.Trace.TaskEnd(ft)
+	}
+	if cfg.Stats != nil {
+		if cfg.Parallel && workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rep := &stats.Report{
+			SchemaVersion: stats.ReportSchemaVersion,
+			Problem:       "barnes-hut",
+			Parallel:      cfg.Parallel,
+			Workers:       workers,
+			QueryN:        int64(n),
+			RefN:          int64(n),
+			Rounds:        1,
+			TotalPairs:    int64(n) * int64(n),
+			Build:         t.Build,
+			Phases: stats.Phases{
+				TreeBuild: buildDur,
+				Traversal: travDur,
+				Finalize:  time.Since(finStart),
+			},
+		}
+		if st != nil {
+			rep.Traversal = *st
+		}
+		if cfg.Trace != nil {
+			rep.Trace = cfg.Trace.Profile()
+		}
+		cfg.Stats.Merge(rep)
 	}
 	return out, nil
 }

@@ -35,7 +35,7 @@ func MST(data *storage.Storage, cfg Config) ([]MSTEdge, float64, error) {
 		return nil, 0, nil
 	}
 	start := time.Now()
-	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers}
+	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Trace: cfg.Trace}
 	t := tree.BuildKD(data, opts)
 	buildDur := time.Since(start)
 
@@ -69,11 +69,13 @@ func MST(data *storage.Storage, cfg Config) ([]MSTEdge, float64, error) {
 			st = &stats.TraversalStats{}
 		}
 		roundStart := time.Now()
-		if cfg.Parallel {
-			traverse.RunParallel(t, t, r, traverse.Options{Workers: cfg.Workers, Stats: st})
-		} else {
-			traverse.RunStats(t, t, r, st)
+		roundWorkers := cfg.Workers
+		if !cfg.Parallel {
+			// Workers:1 runs sequentially inside RunParallel, recording
+			// the round as one root span when tracing is on.
+			roundWorkers = 1
 		}
+		traverse.RunParallel(t, t, r, traverse.Options{Workers: roundWorkers, Stats: st, Trace: cfg.Trace})
 		if cfg.StatsSink != nil {
 			workers := 1
 			if cfg.Parallel {
@@ -83,13 +85,18 @@ func MST(data *storage.Storage, cfg Config) ([]MSTEdge, float64, error) {
 			}
 			// One Report per Borůvka round: each round re-traverses the
 			// full pair space, so TotalPairs accumulates n² per round.
-			cfg.StatsSink.Merge(&stats.Report{
-				Problem: "euclidean MST", Parallel: cfg.Parallel, Workers: workers,
+			rep := &stats.Report{
+				SchemaVersion: stats.ReportSchemaVersion,
+				Problem:       "euclidean MST", Parallel: cfg.Parallel, Workers: workers,
 				QueryN: int64(n), RefN: int64(n), Rounds: 1,
 				TotalPairs: int64(n) * int64(n),
 				Traversal:  *st,
 				Phases:     stats.Phases{TreeBuild: buildDur, Traversal: time.Since(roundStart)},
-			})
+			}
+			if cfg.Trace != nil {
+				rep.Trace = cfg.Trace.Profile()
+			}
+			cfg.StatsSink.Merge(rep)
 			buildDur = 0 // the tree is built once; charge it to round 1
 		}
 		// Gather the minimum outgoing edge per component.

@@ -21,9 +21,18 @@ package stats
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"portal/internal/trace"
 )
+
+// ReportSchemaVersion is the version stamped into Report JSON
+// (schema_version). It is the stability contract for downstream
+// consumers of -stats / -stats-json / -trace output: additive fields
+// keep the version; renames, removals, or semantic changes bump it.
+const ReportSchemaVersion = 1
 
 // TraversalStats counts traversal events. Within one task the fields
 // are plain (single-writer); cross-task aggregation goes through
@@ -158,6 +167,9 @@ func (p *Phases) Add(o Phases) {
 // (or, for iterative problems such as MST and EM, the running
 // aggregate over rounds).
 type Report struct {
+	// SchemaVersion is the JSON stability contract
+	// (ReportSchemaVersion); JSON() stamps it when unset.
+	SchemaVersion int `json:"schema_version"`
 	// Problem is the problem name (the compiler plan's name unless the
 	// caller overrides it).
 	Problem string `json:"problem,omitempty"`
@@ -180,11 +192,23 @@ type Report struct {
 	Build TreeBuildStats `json:"tree_build"`
 	// Phases holds the wall-time breakdown.
 	Phases Phases `json:"phases"`
+	// Trace is the execution-trace summary (depth profiles, task
+	// durations, worker utilization) when tracing was enabled; nil
+	// otherwise. The profile is a cumulative snapshot of the whole
+	// recorder, so iterative problems carry the latest one rather than
+	// summing per round.
+	Trace *trace.Profile `json:"trace,omitempty"`
 }
 
 // Merge folds another execution's report into r; iterative problems
 // call it once per round. Configuration fields take o's values.
 func (r *Report) Merge(o *Report) {
+	if o.SchemaVersion != 0 {
+		r.SchemaVersion = o.SchemaVersion
+	}
+	if o.Trace != nil {
+		r.Trace = o.Trace
+	}
 	if o.Problem != "" && r.Problem == "" {
 		r.Problem = o.Problem
 	}
@@ -218,8 +242,11 @@ func (r *Report) PrunedFraction() float64 {
 
 // JSON renders the report as indented JSON (the machine-readable form
 // the -stats flags emit; see README "Traversal statistics" for the
-// schema).
+// schema), stamping schema_version when the caller has not.
 func (r *Report) JSON() ([]byte, error) {
+	if r.SchemaVersion == 0 {
+		r.SchemaVersion = ReportSchemaVersion
+	}
 	return json.MarshalIndent(r, "", "  ")
 }
 
@@ -247,6 +274,9 @@ func (r *Report) String() string {
 	if b := r.Build; b.Workers > 0 {
 		s += fmt.Sprintf("\n  tree build: workers=%d tasks=%d (inline fallbacks: %d)",
 			b.Workers, b.TasksSpawned, b.InlineFallbacks)
+	}
+	if r.Trace != nil {
+		s += "\n  " + strings.ReplaceAll(strings.TrimRight(r.Trace.String(), "\n"), "\n", "\n  ")
 	}
 	return s
 }

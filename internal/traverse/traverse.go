@@ -31,6 +31,7 @@ import (
 
 	"portal/internal/prune"
 	"portal/internal/stats"
+	"portal/internal/trace"
 	"portal/internal/tree"
 )
 
@@ -78,10 +79,25 @@ func Run(q, r *tree.Tree, rule Rule) { RunStats(q, r, rule, nil) }
 // RunStats is Run with statistics collection into st (nil disables
 // collection entirely, leaving the hot path counter-free).
 func RunStats(q, r *tree.Tree, rule Rule, st *stats.TraversalStats) {
+	runSeq(q, r, rule, st, nil)
+}
+
+// runSeq is the sequential traversal with optional statistics and
+// tracing. The whole walk is recorded as one root span, so a traced
+// sequential run always emits exactly one traverse span
+// (TasksSpawned + 1 with TasksSpawned = 0).
+func runSeq(q, r *tree.Tree, rule Rule, st *stats.TraversalStats, rec trace.Recorder) {
 	ord, _ := rule.(ChildOrderer)
-	dual(q.Root, r.Root, rule, ord, 0, st)
+	var tt *trace.Task
+	if rec != nil {
+		tt = rec.TaskBegin(trace.PhaseTraverse, 0)
+	}
+	dual(q.Root, r.Root, rule, ord, 0, st, tt)
 	if st != nil {
 		flushRule(rule, st)
+	}
+	if tt != nil {
+		rec.TaskEnd(tt)
 	}
 }
 
@@ -98,35 +114,79 @@ func pairCount(qn, rn *tree.Node) int64 {
 	return int64(qn.Count()) * int64(rn.Count())
 }
 
+// recPrune records a Prune decision into whichever observers are
+// active. Both st and tt are owned by the current task, so recording
+// is plain stores; when both are nil (the common disabled case) this
+// is a pair of predicted branches and nothing else.
+func recPrune(st *stats.TraversalStats, tt *trace.Task, depth int, qn, rn *tree.Node) {
+	if st == nil && tt == nil {
+		return
+	}
+	pc := pairCount(qn, rn)
+	if st != nil {
+		st.Prunes++
+		st.PrunedPairs += pc
+	}
+	if tt != nil {
+		tt.Prune(depth, pc)
+	}
+}
+
+// recApprox records an Approximate decision (see recPrune).
+func recApprox(st *stats.TraversalStats, tt *trace.Task, depth int, qn, rn *tree.Node) {
+	if st == nil && tt == nil {
+		return
+	}
+	pc := pairCount(qn, rn)
+	if st != nil {
+		st.Approxes++
+		st.ApproxPairs += pc
+	}
+	if tt != nil {
+		tt.Approx(depth, pc)
+	}
+}
+
+// recBase records a base-case execution (see recPrune).
+func recBase(st *stats.TraversalStats, tt *trace.Task, depth int, qn, rn *tree.Node) {
+	if st == nil && tt == nil {
+		return
+	}
+	pc := pairCount(qn, rn)
+	if st != nil {
+		st.BaseCases++
+		st.BaseCasePairs += pc
+	}
+	if tt != nil {
+		tt.BaseCase(depth, pc)
+	}
+}
+
 // dual is Algorithm 1. The power-set of child tuples is materialized
-// implicitly by the nested loops over each node's split set.
-func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, depth int, st *stats.TraversalStats) {
+// implicitly by the nested loops over each node's split set. tt is
+// the current task's trace buffer (nil when tracing is off); like st
+// it is single-writer for the task's lifetime.
+func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, depth int, st *stats.TraversalStats, tt *trace.Task) {
 	if st != nil && int64(depth) > st.MaxDepth {
 		st.MaxDepth = int64(depth)
 	}
 	switch rule.PruneApprox(qn, rn) {
 	case prune.Prune:
-		if st != nil {
-			st.Prunes++
-			st.PrunedPairs += pairCount(qn, rn)
-		}
+		recPrune(st, tt, depth, qn, rn)
 		return
 	case prune.Approx:
-		if st != nil {
-			st.Approxes++
-			st.ApproxPairs += pairCount(qn, rn)
-		}
+		recApprox(st, tt, depth, qn, rn)
 		rule.ComputeApprox(qn, rn)
 		return
 	}
 	if st != nil {
 		st.Visits++
 	}
+	if tt != nil {
+		tt.Visit(depth)
+	}
 	if qn.IsLeaf() && rn.IsLeaf() {
-		if st != nil {
-			st.BaseCases++
-			st.BaseCasePairs += pairCount(qn, rn)
-		}
+		recBase(st, tt, depth, qn, rn)
 		rule.BaseCase(qn, rn)
 		return
 	}
@@ -134,12 +194,12 @@ func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, depth int, st *stats.T
 	rsplit := split(rn)
 	for _, qc := range qsplit {
 		if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-			dual(qc, rsplit[1], rule, ord, depth+1, st)
-			dual(qc, rsplit[0], rule, ord, depth+1, st)
+			dual(qc, rsplit[1], rule, ord, depth+1, st, tt)
+			dual(qc, rsplit[0], rule, ord, depth+1, st, tt)
 			continue
 		}
 		for _, rc := range rsplit {
-			dual(qc, rc, rule, ord, depth+1, st)
+			dual(qc, rc, rule, ord, depth+1, st, tt)
 		}
 	}
 	rule.PostChildren(qn)
@@ -169,6 +229,11 @@ type Options struct {
 	// Stats, when non-nil, receives the traversal's statistics. Each
 	// task accumulates privately and merges on completion.
 	Stats *stats.TraversalStats
+	// Trace, when non-nil, records one span per traversal task (the
+	// caller's root walk plus every spawned task) and per-depth
+	// decision profiles, under the same per-task ownership model as
+	// Stats: a task's trace.Task buffer is private until TaskEnd.
+	Trace trace.Recorder
 }
 
 // SpawnDepthFor derives the default task-spawn depth from the worker
@@ -185,12 +250,14 @@ func SpawnDepthFor(workers int) int {
 }
 
 // parCtx is the shared state of one parallel traversal: the task
-// WaitGroup, the worker-cap semaphore, and the stats accumulator that
-// completing tasks merge into (nil when collection is off).
+// WaitGroup, the worker-cap semaphore, the stats accumulator that
+// completing tasks merge into, and the trace recorder tasks report to
+// (either may be nil when that observer is off).
 type parCtx struct {
 	wg   sync.WaitGroup
 	sem  chan struct{}
 	root *stats.TraversalStats
+	rec  trace.Recorder
 }
 
 // RunParallel performs the traversal with query-side task parallelism.
@@ -203,7 +270,7 @@ func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		RunStats(q, r, rule, opts.Stats)
+		runSeq(q, r, rule, opts.Stats, opts.Trace)
 		return
 	}
 	depth := opts.SpawnDepth
@@ -214,18 +281,27 @@ func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 	// the whole traversal, so only workers-1 semaphore slots exist: a
 	// spawned task holds its slot for its entire lifetime, capping
 	// concurrency at 1 (caller) + (workers-1) spawned = workers.
-	pc := &parCtx{sem: make(chan struct{}, workers-1), root: opts.Stats}
+	pc := &parCtx{sem: make(chan struct{}, workers-1), root: opts.Stats, rec: opts.Trace}
 	var local *stats.TraversalStats
 	if pc.root != nil {
 		local = &stats.TraversalStats{}
 	}
+	var tt *trace.Task
+	if pc.rec != nil {
+		tt = pc.rec.TaskBegin(trace.PhaseTraverse, 0)
+	}
 	ord, _ := rule.(ChildOrderer)
-	parDual(q.Root, r.Root, rule, ord, depth, 0, pc, local)
+	parDual(q.Root, r.Root, rule, ord, depth, 0, pc, local, tt)
 	pc.wg.Wait()
 	if local != nil {
 		// All tasks have merged; fold the caller's share in last.
 		flushRule(rule, local)
 		local.MergeAtomic(pc.root)
+	}
+	if tt != nil {
+		// Root span closes after the last task: its extent is the
+		// traversal's wall time.
+		pc.rec.TaskEnd(tt)
 	}
 }
 
@@ -233,33 +309,27 @@ func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 // new task while the current goroutine continues with the second —
 // the recursive OpenMP-task pattern of Section IV-F — until spawnDepth
 // is exhausted or the semaphore shows the workers are saturated.
-func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth int, pc *parCtx, st *stats.TraversalStats) {
+func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth int, pc *parCtx, st *stats.TraversalStats, tt *trace.Task) {
 	if st != nil && int64(depth) > st.MaxDepth {
 		st.MaxDepth = int64(depth)
 	}
 	switch rule.PruneApprox(qn, rn) {
 	case prune.Prune:
-		if st != nil {
-			st.Prunes++
-			st.PrunedPairs += pairCount(qn, rn)
-		}
+		recPrune(st, tt, depth, qn, rn)
 		return
 	case prune.Approx:
-		if st != nil {
-			st.Approxes++
-			st.ApproxPairs += pairCount(qn, rn)
-		}
+		recApprox(st, tt, depth, qn, rn)
 		rule.ComputeApprox(qn, rn)
 		return
 	}
 	if st != nil {
 		st.Visits++
 	}
+	if tt != nil {
+		tt.Visit(depth)
+	}
 	if qn.IsLeaf() && rn.IsLeaf() {
-		if st != nil {
-			st.BaseCases++
-			st.BaseCasePairs += pairCount(qn, rn)
-		}
+		recBase(st, tt, depth, qn, rn)
 		rule.BaseCase(qn, rn)
 		return
 	}
@@ -268,12 +338,12 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth i
 	if spawnDepth <= 0 || len(qsplit) < 2 {
 		for _, qc := range qsplit {
 			if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-				dual(qc, rsplit[1], rule, ord, depth+1, st)
-				dual(qc, rsplit[0], rule, ord, depth+1, st)
+				dual(qc, rsplit[1], rule, ord, depth+1, st, tt)
+				dual(qc, rsplit[0], rule, ord, depth+1, st, tt)
 				continue
 			}
 			for _, rc := range rsplit {
-				dual(qc, rc, rule, ord, depth+1, st)
+				dual(qc, rc, rule, ord, depth+1, st, tt)
 			}
 		}
 		rule.PostChildren(qn)
@@ -303,12 +373,19 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth i
 					if pc.root != nil {
 						tst = &stats.TraversalStats{}
 					}
+					var ttt *trace.Task
+					if pc.rec != nil {
+						// The task's span opens here, on the spawned
+						// goroutine: its extent is the task's execution,
+						// not the spawn point's queueing.
+						ttt = pc.rec.TaskBegin(trace.PhaseTraverse, depth+1)
+					}
 					if fordered != nil && len(rsplit) == 2 && fordered.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-						parDual(qc, rsplit[1], forked, fordered, spawnDepth-1, depth+1, pc, tst)
-						parDual(qc, rsplit[0], forked, fordered, spawnDepth-1, depth+1, pc, tst)
+						parDual(qc, rsplit[1], forked, fordered, spawnDepth-1, depth+1, pc, tst, ttt)
+						parDual(qc, rsplit[0], forked, fordered, spawnDepth-1, depth+1, pc, tst, ttt)
 					} else {
 						for _, rc := range rsplit {
-							parDual(qc, rc, forked, fordered, spawnDepth-1, depth+1, pc, tst)
+							parDual(qc, rc, forked, fordered, spawnDepth-1, depth+1, pc, tst, ttt)
 						}
 					}
 					if tst != nil {
@@ -316,6 +393,9 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth i
 						// then merge once into the shared accumulator.
 						flushRule(forked, tst)
 						tst.MergeAtomic(pc.root)
+					}
+					if ttt != nil {
+						pc.rec.TaskEnd(ttt)
 					}
 				}(qc)
 				continue
@@ -326,12 +406,12 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth i
 			}
 		}
 		if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-			parDual(qc, rsplit[1], rule, ord, spawnDepth-1, depth+1, pc, st)
-			parDual(qc, rsplit[0], rule, ord, spawnDepth-1, depth+1, pc, st)
+			parDual(qc, rsplit[1], rule, ord, spawnDepth-1, depth+1, pc, st, tt)
+			parDual(qc, rsplit[0], rule, ord, spawnDepth-1, depth+1, pc, st, tt)
 			continue
 		}
 		for _, rc := range rsplit {
-			parDual(qc, rc, rule, ord, spawnDepth-1, depth+1, pc, st)
+			parDual(qc, rc, rule, ord, spawnDepth-1, depth+1, pc, st, tt)
 		}
 	}
 	// The query node's bound may only be tightened once every child

@@ -20,12 +20,15 @@ func BuildOct(s *storage.Storage, opts *Options) *Tree {
 	pl := &pool{}
 	root := pl.node()
 	*root = bnode{begin: 0, end: s.Len(), bbox: pl.rect(b.d)}
+	tt := b.beginRoot()
 	hookEnter()
 	b.scanBBox(0, s.Len(), root.bbox)
 	b.buildOct(root, pl)
 	hookExit()
 	b.wg.Wait()
-	return b.finish(root)
+	t := b.finish(root)
+	b.endRoot(tt)
+	return t
 }
 
 // buildOct splits [begin,end) into up to 2^d octants around the
@@ -148,7 +151,7 @@ func (b *builder) buildOct(n *bnode, pl *pool) {
 	last := len(n.kids) - 1
 	for i, kid := range n.kids {
 		kid := kid
-		if i < last && kid.end-kid.begin >= minSpawnCount && b.spawn(func(cpl *pool) { b.buildOct(kid, cpl) }) {
+		if i < last && kid.end-kid.begin >= minSpawnCount && b.spawn(kid.end-kid.begin, kid.depth, func(cpl *pool) { b.buildOct(kid, cpl) }) {
 			continue
 		}
 		b.buildOct(kid, pl)

@@ -48,6 +48,7 @@ import (
 	"portal/internal/geom"
 	"portal/internal/stats"
 	"portal/internal/storage"
+	"portal/internal/trace"
 )
 
 // Node is a tree node covering the contiguous point range [Begin, End)
@@ -172,6 +173,11 @@ type Options struct {
 	// ever execute build work concurrently. Ignored unless Parallel is
 	// set, mirroring engine.Config semantics.
 	Workers int
+	// Trace, when non-nil, records one build span per spawned subtree
+	// task plus one root span covering the whole build (so build spans
+	// == Build.TasksSpawned + 1). Each span's Items is the subtree's
+	// point count.
+	Trace trace.Recorder
 }
 
 func (o *Options) leafSize() int {
@@ -328,6 +334,7 @@ type builder struct {
 	workers int
 	sem     chan struct{}
 	wg      sync.WaitGroup
+	rec     trace.Recorder
 
 	spawned int64 // atomic
 	inline  int64 // atomic
@@ -356,6 +363,9 @@ func newBuilder(s *storage.Storage, opts *Options) *builder {
 		leaf:    opts.leafSize(),
 		workers: opts.workers(),
 	}
+	if opts != nil {
+		b.rec = opts.Trace
+	}
 	copy(b.work, s.Flat())
 	if opts != nil && opts.Weights != nil {
 		if len(opts.Weights) != s.Len() {
@@ -376,9 +386,12 @@ func newBuilder(s *storage.Storage, opts *Options) *builder {
 	return b
 }
 
-// spawn tries to fork fn as a build task; it reports whether a worker
-// slot was available. The task holds its slot until fn returns.
-func (b *builder) spawn(fn func(pl *pool)) bool {
+// spawn tries to fork fn as a build task over a count-point subtree
+// rooted at recursion depth; it reports whether a worker slot was
+// available. The task holds its slot until fn returns. When tracing
+// is on, the task records a build span (opened on the spawned
+// goroutine, so the span is execution time, not queueing).
+func (b *builder) spawn(count, depth int, fn func(pl *pool)) bool {
 	if b.sem == nil {
 		return false
 	}
@@ -389,7 +402,15 @@ func (b *builder) spawn(fn func(pl *pool)) bool {
 		go func() {
 			defer b.wg.Done()
 			hookEnter()
+			var tt *trace.Task
+			if b.rec != nil {
+				tt = b.rec.TaskBegin(trace.PhaseBuild, depth)
+				tt.SetItems(int64(count))
+			}
 			fn(&pool{})
+			if tt != nil {
+				b.rec.TaskEnd(tt)
+			}
 			hookExit()
 			<-b.sem
 		}()
@@ -397,6 +418,23 @@ func (b *builder) spawn(fn func(pl *pool)) bool {
 	default:
 		atomic.AddInt64(&b.inline, 1)
 		return false
+	}
+}
+
+// beginRoot opens the build's root span (nil when tracing is off).
+func (b *builder) beginRoot() *trace.Task {
+	if b.rec == nil {
+		return nil
+	}
+	tt := b.rec.TaskBegin(trace.PhaseBuild, 0)
+	tt.SetItems(int64(b.n))
+	return tt
+}
+
+// endRoot closes the root span opened by beginRoot.
+func (b *builder) endRoot(tt *trace.Task) {
+	if tt != nil {
+		b.rec.TaskEnd(tt)
 	}
 }
 
@@ -408,12 +446,15 @@ func BuildKD(s *storage.Storage, opts *Options) *Tree {
 	pl := &pool{}
 	root := pl.node()
 	*root = bnode{begin: 0, end: s.Len(), bbox: pl.rect(b.d)}
+	tt := b.beginRoot()
 	hookEnter()
 	b.scanBBox(0, s.Len(), root.bbox)
 	b.buildKD(root, pl)
 	hookExit()
 	b.wg.Wait()
-	return b.finish(root)
+	t := b.finish(root)
+	b.endRoot(tt)
+	return t
 }
 
 // buildKD recursively splits [begin,end) at the median of the widest
@@ -439,7 +480,7 @@ func (b *builder) buildKD(n *bnode, pl *pool) {
 	b.scanBBox(mid, n.end, right.bbox)
 	n.kids = pl.kidSlice(2)
 	n.kids[0], n.kids[1] = left, right
-	if count >= minSpawnCount && b.spawn(func(cpl *pool) { b.buildKD(left, cpl) }) {
+	if count >= minSpawnCount && b.spawn(left.end-left.begin, left.depth, func(cpl *pool) { b.buildKD(left, cpl) }) {
 		b.buildKD(right, pl)
 		return
 	}
