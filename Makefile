@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree bench-compare stats trace-smoke
+.PHONY: check build vet test race bench bench-tree bench-basecase bench-compare stats trace-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
 check: build vet test race trace-smoke
@@ -28,10 +28,18 @@ bench-tree:
 	$(GO) test -bench=BenchmarkTreeBuild -benchmem ./internal/bench/
 	$(GO) run ./cmd/portalbench -experiment treebuild -reps 3 -json BENCH_treebuild.json
 
-# Regression gate: rerun the recorded BENCH_treebuild.json
-# configurations and fail on >25% wall-time regression.
+# Base-case kernel benchmark: fused operator-specialized loops vs the
+# legacy per-pair update path on base-case-dominated configurations
+# (leaf=256); writes BENCH_basecase.json.
+bench-basecase:
+	$(GO) test -bench='BenchmarkKListInsert|BenchmarkBaseCase' -benchmem ./internal/codegen/ ./internal/bench/
+	$(GO) run ./cmd/portalbench -experiment basecase -scale 10000 -reps 3 -json BENCH_basecase.json
+
+# Regression gate: rerun the recorded BENCH_treebuild.json and
+# BENCH_basecase.json configurations and fail on >25% wall-time
+# regression in either.
 bench-compare:
-	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json -reps 3
+	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json -scale 10000 -reps 3
 
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000

@@ -9,7 +9,11 @@
 //	portalbench -experiment table5          # Portal vs libraries (Table V)
 //	portalbench -stats [-scale N]           # traversal statistics (JSON on stdout)
 //	portalbench -experiment all [-scale N] [-seq] [-reps R]
-//	portalbench -compare BENCH_treebuild.json   # regression gate (exit 1 on >25%)
+//	portalbench -experiment basecase        # fused vs legacy base-case loops
+//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json
+//	    # regression gate: rerun each named baseline (dispatched by file
+//	    # name: "basecase" files gate fused traversal time, everything
+//	    # else the tree build) and exit 1 on any >25% regression
 //
 // -workers caps worker goroutines in every experiment's tree build and
 // traversal. -json FILE writes the machine-readable form of any
@@ -26,6 +30,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"portal/internal/bench"
 	"portal/internal/dataset"
@@ -34,7 +39,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, stats, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
@@ -45,7 +50,7 @@ func main() {
 	statsFlag := flag.Bool("stats", false,
 		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable JSON to this file (any experiment)")
-	compare := flag.String("compare", "", "rerun the tree-build experiment against this BENCH_treebuild.json baseline and exit non-zero on >25% regression")
+	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json and/or BENCH_basecase.json); exits non-zero on >25% regression")
 	traceOut := flag.String("trace", "", "write an execution trace of the Portal-side runs (Chrome trace-event JSON) to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	flag.Parse()
@@ -97,19 +102,38 @@ func main() {
 	}
 
 	if *compare != "" {
-		baseline, err := bench.LoadTreeBuildBaseline(*compare)
-		fail(err)
-		fmt.Printf("== Tree-build regression gate vs %s (tolerance 25%%) ==\n", *compare)
-		regs := bench.CompareTreeBuild(o, baseline, 0.25, os.Stdout)
-		writeJSON(*jsonPath, regs)
+		// Each comma-separated baseline file runs its own gate,
+		// dispatched by file name; any regression anywhere fails the run.
+		regressed, total := 0, 0
+		jsonRegs := map[string]any{}
+		for _, path := range strings.Split(*compare, ",") {
+			if strings.Contains(filepath.Base(path), "basecase") {
+				baseline, err := bench.LoadBaseCaseBaseline(path)
+				fail(err)
+				fmt.Printf("== Base-case regression gate vs %s (tolerance 25%%) ==\n", path)
+				regs := bench.CompareBaseCase(o, baseline, 0.25, os.Stdout)
+				jsonRegs["basecase"] = regs
+				regressed += len(regs)
+				total += len(baseline)
+				continue
+			}
+			baseline, err := bench.LoadTreeBuildBaseline(path)
+			fail(err)
+			fmt.Printf("== Tree-build regression gate vs %s (tolerance 25%%) ==\n", path)
+			regs := bench.CompareTreeBuild(o, baseline, 0.25, os.Stdout)
+			jsonRegs["treebuild"] = regs
+			regressed += len(regs)
+			total += len(baseline)
+		}
+		writeJSON(*jsonPath, jsonRegs)
 		finish()
 		writeTrace()
-		if len(regs) > 0 {
+		if regressed > 0 {
 			fmt.Fprintf(os.Stderr, "portalbench: %d of %d configurations regressed >25%%\n",
-				len(regs), len(baseline))
+				regressed, total)
 			os.Exit(1)
 		}
-		fmt.Printf("all %d configurations within tolerance\n", len(baseline))
+		fmt.Printf("all %d configurations within tolerance\n", total)
 		return
 	}
 
@@ -159,6 +183,9 @@ func main() {
 	case "tausweep":
 		fmt.Println("== KDE tau accuracy/time sweep ==")
 		jsonOut = bench.TauSweep(o, os.Stdout)
+	case "basecase":
+		fmt.Println("== Base-case kernels (fused vs legacy loops, leaf=256) ==")
+		jsonOut = bench.BaseCase(o, os.Stdout)
 	case "treebuild":
 		fmt.Println("== Tree construction (serial vs parallel arena build) ==")
 		results := bench.TreeBuild(o, *workers, os.Stdout)

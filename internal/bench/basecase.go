@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"portal/internal/codegen"
+	"portal/internal/engine"
+	"portal/internal/lang"
+	"portal/internal/problems"
+	"portal/internal/storage"
+)
+
+// This file benchmarks the fused operator-specialized base cases
+// (internal/codegen/basecase_fused.go) against the legacy per-pair
+// update loops on base-case-dominated configurations: a large leaf
+// (256 points) pushes most of the work into the leaf-pair loops, so
+// the measured ratio isolates the fusion win. Trees are built once
+// per configuration and shared by both sides; only the traversal is
+// timed.
+
+// baseCaseLeaf is the leaf size of every base-case configuration —
+// large enough that leaf pairs dominate the traversal.
+const baseCaseLeaf = 256
+
+// BaseCaseResult is one configuration's fused vs unfused measurement
+// (the BENCH_basecase.json row format).
+type BaseCaseResult struct {
+	Problem   string  `json:"problem"`
+	N         int     `json:"n"`
+	Dim       int     `json:"dim"`
+	LeafSize  int     `json:"leaf_size"`
+	Workers   int     `json:"workers"`
+	FusedNS   int64   `json:"fused_ns"`
+	UnfusedNS int64   `json:"unfused_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// baseCaseConfigs are the measured configurations: the paper's core
+// problems at two dimensionalities, covering every fused kernel class
+// (identity/KNN, Gaussian/KDE, window-count/2PC, window-collect/RS)
+// and both storage layouts (col-major at d=3, row-major at d=8).
+var baseCaseConfigs = []struct {
+	problem string
+	dim     int
+}{
+	{"knn", 3},
+	{"kde", 3},
+	{"2pc", 3},
+	{"rs", 3},
+	{"knn", 8},
+	{"kde", 8},
+}
+
+// BaseCase runs every base-case configuration at o.Scale points and
+// reports fused vs unfused traversal times.
+func BaseCase(o Options, w io.Writer) []BaseCaseResult {
+	o = o.fill()
+	results := make([]BaseCaseResult, 0, len(baseCaseConfigs))
+	for _, c := range baseCaseConfigs {
+		r := measureBaseCase(o, c.problem, o.Scale, c.dim)
+		results = append(results, r)
+		if w != nil {
+			fmt.Fprintf(w, "%-3s d=%d N=%-7d leaf=%-4d fused=%-12v unfused=%-12v speedup=%.2fx\n",
+				r.Problem, r.Dim, r.N, r.LeafSize,
+				time.Duration(r.FusedNS), time.Duration(r.UnfusedNS), r.Speedup)
+		}
+	}
+	return results
+}
+
+// measureBaseCase times one configuration's traversal with the fused
+// loops on and off, on identical pre-built trees.
+func measureBaseCase(o Options, problem string, n, dim int) BaseCaseResult {
+	o = o.fill()
+	data := normalND(n, dim, o.Seed)
+	spec, tau := baseCaseSpec(problem, data, o.Seed)
+	cfg := engine.Config{
+		LeafSize: baseCaseLeaf, Tau: tau,
+		Parallel: o.Parallel, Workers: o.Workers,
+		Codegen: codegen.Options{NoStats: true},
+		Trace:   o.Trace,
+	}
+	run := func(c engine.Config) int64 {
+		p, err := engine.Compile("basecase-"+problem, spec, c)
+		if err != nil {
+			panic(err)
+		}
+		qt, rt := p.BuildTrees(c)
+		return int64(timeIt(o.Reps, func() {
+			if _, err := p.ExecuteOn(qt, rt, c); err != nil {
+				panic(err)
+			}
+		}))
+	}
+	fusedNS := run(cfg)
+	cfg.Codegen.NoFuse = true
+	unfusedNS := run(cfg)
+	return BaseCaseResult{
+		Problem: problem, N: n, Dim: dim, LeafSize: baseCaseLeaf,
+		Workers: o.Workers, FusedNS: fusedNS, UnfusedNS: unfusedNS,
+		Speedup: float64(unfusedNS) / float64(fusedNS),
+	}
+}
+
+// baseCaseSpec builds the Portal spec for one named configuration.
+func baseCaseSpec(problem string, data *storage.Storage, seed int64) (*lang.PortalExpr, float64) {
+	switch problem {
+	case "knn":
+		return problems.KNNSpec(data, data, 5), 0
+	case "kde":
+		return problems.KDESpec(data, data, problems.SilvermanBandwidth(data)), 1e-3
+	case "2pc":
+		return problems.TwoPointSpec(data, pickRadius(data, seed)), 0
+	case "rs":
+		return problems.RangeSearchSpec(data, data, 0, pickRadius(data, seed)), 0
+	default:
+		panic("bench: unknown base-case problem " + problem)
+	}
+}
+
+// normalND draws n standard-normal points in dim dimensions with the
+// layout heuristic's choice (column-major for d ≤ 4).
+func normalND(n, dim int, seed int64) *storage.Storage {
+	rng := rand.New(rand.NewSource(seed*7919 + int64(dim)))
+	s := storage.New(n, dim)
+	p := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		s.SetPoint(i, p)
+	}
+	return s
+}
+
+// BaseCaseRegression is one configuration whose fused traversal got
+// slower than the stored baseline allows.
+type BaseCaseRegression struct {
+	Problem    string  `json:"problem"`
+	N          int     `json:"n"`
+	Dim        int     `json:"dim"`
+	BaselineNS int64   `json:"baseline_ns"`
+	CurrentNS  int64   `json:"current_ns"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// CompareBaseCase reruns every configuration recorded in baseline
+// (same problem, N, and dimension) with the fused loops on and flags
+// the ones whose traversal regressed by more than tol (0.25 = 25%
+// slower). Per-configuration verdicts go to w when non-nil.
+func CompareBaseCase(o Options, baseline []BaseCaseResult, tol float64, w io.Writer) []BaseCaseRegression {
+	var regs []BaseCaseRegression
+	for _, base := range baseline {
+		cur := measureBaseCase(o, base.Problem, base.N, base.Dim)
+		ratio := float64(cur.FusedNS) / float64(base.FusedNS)
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSION"
+			regs = append(regs, BaseCaseRegression{
+				Problem: base.Problem, N: base.N, Dim: base.Dim,
+				BaselineNS: base.FusedNS, CurrentNS: cur.FusedNS, Ratio: ratio,
+			})
+		}
+		if w != nil {
+			fmt.Fprintf(w, "%-3s d=%d N=%-8d baseline=%-12v current=%-12v ratio=%.2f %s\n",
+				base.Problem, base.Dim, base.N,
+				time.Duration(base.FusedNS), time.Duration(cur.FusedNS), ratio, verdict)
+		}
+	}
+	return regs
+}
+
+// LoadBaseCaseBaseline reads a BENCH_basecase.json file.
+func LoadBaseCaseBaseline(path string) ([]BaseCaseResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var baseline []BaseCaseResult
+	if err := json.Unmarshal(b, &baseline); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("bench: %s: empty baseline", path)
+	}
+	return baseline, nil
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"portal/internal/codegen"
+	"portal/internal/engine"
+)
+
+// The experiment must produce one sane row per configuration; tiny N
+// keeps the traversals cheap.
+func TestBaseCaseExperiment(t *testing.T) {
+	o := Options{Scale: 1500, Seed: 1, Reps: 1}
+	var buf bytes.Buffer
+	results := BaseCase(o, &buf)
+	if len(results) != len(baseCaseConfigs) {
+		t.Fatalf("%d results, want %d", len(results), len(baseCaseConfigs))
+	}
+	for _, r := range results {
+		if r.FusedNS <= 0 || r.UnfusedNS <= 0 {
+			t.Errorf("%s d=%d: non-positive timings %+v", r.Problem, r.Dim, r)
+		}
+		if r.LeafSize != baseCaseLeaf || r.N != 1500 {
+			t.Errorf("%s d=%d: config not recorded: %+v", r.Problem, r.Dim, r)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s d=%d: speedup %v", r.Problem, r.Dim, r.Speedup)
+		}
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("speedup")) {
+		t.Error("table output missing speedup column")
+	}
+}
+
+// A baseline claiming 1ns traversals must flag every configuration;
+// one claiming hour-long traversals must flag none.
+func TestCompareBaseCase(t *testing.T) {
+	o := Options{Scale: 1500, Seed: 1, Reps: 1}
+	impossible := []BaseCaseResult{
+		{Problem: "knn", N: 1500, Dim: 3, FusedNS: 1},
+		{Problem: "kde", N: 1500, Dim: 3, FusedNS: 1},
+	}
+	var buf bytes.Buffer
+	regs := CompareBaseCase(o, impossible, 0.25, &buf)
+	if len(regs) != 2 {
+		t.Fatalf("impossible 1ns baseline: %d regressions, want 2\n%s", len(regs), buf.String())
+	}
+	for i, r := range regs {
+		if r.Ratio <= 1.25 {
+			t.Errorf("regression %d ratio = %v, want > 1.25", i, r.Ratio)
+		}
+		if r.Problem != impossible[i].Problem || r.N != impossible[i].N {
+			t.Errorf("regression %d = %+v, want config of %+v", i, r, impossible[i])
+		}
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("REGRESSION")) {
+		t.Error("verdict output missing REGRESSION marker")
+	}
+
+	generous := []BaseCaseResult{
+		{Problem: "rs", N: 1500, Dim: 3, FusedNS: int64(3600) * 1e9},
+	}
+	buf.Reset()
+	if regs := CompareBaseCase(o, generous, 0.25, &buf); len(regs) != 0 {
+		t.Fatalf("hour-long baseline flagged %d regressions:\n%s", len(regs), buf.String())
+	}
+}
+
+func TestLoadBaseCaseBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_basecase.json")
+	row := `[{"problem":"knn","n":1000,"dim":3,"leaf_size":256,"fused_ns":123,"unfused_ns":456,"speedup":3.7}]`
+	if err := os.WriteFile(good, []byte(row), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadBaseCaseBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != 1 || baseline[0].Problem != "knn" || baseline[0].FusedNS != 123 {
+		t.Fatalf("baseline = %+v", baseline)
+	}
+	if _, err := LoadBaseCaseBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`[]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseCaseBaseline(empty); err == nil {
+		t.Error("empty baseline should error")
+	}
+}
+
+// BenchmarkBaseCase is the go-test form of the experiment for one KDE
+// configuration: fused vs legacy traversal on shared pre-built trees.
+func BenchmarkBaseCase(b *testing.B) {
+	data := normalND(4000, 3, 1)
+	spec, tau := baseCaseSpec("kde", data, 1)
+	for _, v := range []struct {
+		name   string
+		noFuse bool
+	}{{"fused", false}, {"legacy", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := engine.Config{
+				LeafSize: baseCaseLeaf, Tau: tau,
+				Codegen: codegen.Options{NoStats: true, NoFuse: v.noFuse},
+			}
+			p, err := engine.Compile("bench-basecase", spec, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qt, rt := p.BuildTrees(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ExecuteOn(qt, rt, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,11 +26,17 @@ func (r *Run) BaseCase(qn, rn *tree.Node) {
 	// point pair; one plain multiply-add per leaf pair keeps the count
 	// without touching the inner loops.
 	r.kernelEvals += int64(qn.Count()) * int64(rn.Count())
-	if r.Ex.Opts.ForceInterp {
+	switch {
+	case r.Ex.Opts.ForceInterp:
 		r.interpBaseCase(qn, rn)
-	} else if r.evalD2 != nil {
+	case r.fused != nil:
+		// Fused operator-specialized loop (basecase_fused.go): distance,
+		// kernel body, and operator update in one tiled loop.
+		r.fusedBaseCases++
+		r.fused(r, qn, rn)
+	case r.evalD2 != nil:
 		r.euclidBaseCase(qn, rn)
-	} else {
+	default:
 		r.genericBaseCase(qn, rn)
 	}
 	if r.NodeBound != nil {
@@ -55,7 +61,11 @@ func (r *Run) euclidBaseCase(qn, rn *tree.Node) {
 			return
 		}
 	}
-	if qd.Layout() == storage.ColMajor && rd.Layout() == storage.ColMajor {
+	// The dimension-specialized column walks only cover d ≤ 4; an
+	// explicitly column-major store above that must take the buffered
+	// path (the d=4 body would silently drop dimensions).
+	if qd.Layout() == storage.ColMajor && rd.Layout() == storage.ColMajor &&
+		r.Q.Dim() <= storage.ColMajorMaxDim {
 		r.euclidColMajor(qn, rn)
 		return
 	}
@@ -63,8 +73,36 @@ func (r *Run) euclidBaseCase(qn, rn *tree.Node) {
 		r.euclidRowMajor(qn, rn)
 		return
 	}
-	// Mixed layouts: materialize points through scratch buffers.
 	ident := r.identity
+	// Mixed layouts: keep a zero-copy row view on whichever side has
+	// one and materialize only the other side through scratch.
+	if qd.Layout() == storage.RowMajor {
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			for ri := rn.Begin; ri < rn.End; ri++ {
+				v := fastmath.Hypot2(q, rd.Point(ri, r.rbuf))
+				if !ident {
+					v = r.evalD2(v)
+				}
+				r.update(qi, ri, v)
+			}
+		}
+		return
+	}
+	if rd.Layout() == storage.RowMajor {
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Point(qi, r.qbuf)
+			for ri := rn.Begin; ri < rn.End; ri++ {
+				v := fastmath.Hypot2(q, rd.Row(ri))
+				if !ident {
+					v = r.evalD2(v)
+				}
+				r.update(qi, ri, v)
+			}
+		}
+		return
+	}
+	// No row view on either side: both points through scratch buffers.
 	for qi := qn.Begin; qi < qn.End; qi++ {
 		q := qd.Point(qi, r.qbuf)
 		for ri := rn.Begin; ri < rn.End; ri++ {

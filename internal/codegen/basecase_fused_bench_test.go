@@ -1,0 +1,98 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/lower"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// Leaf-pair micro-benchmarks: one 256×256 base case, fused vs legacy,
+// for the hand-monomorphized hot shapes (basecase_fused_hot.go). These
+// isolate the per-pair loop cost from traversal scheduling; the
+// end-to-end ratios live in internal/bench (BenchmarkBaseCase and the
+// portalbench basecase experiment).
+
+// benchLeafRun compiles a single-layer problem whose trees are one
+// 256-point leaf each, so BaseCase is the entire traversal.
+func benchLeafRun(b *testing.B, d int, l storage.Layout, op lang.Op, k int, kernel *expr.Kernel, opts Options) *Run {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const n = 256
+	q := storageWithLayout(randRows(rng, n, d), l)
+	r := storageWithLayout(randRows(rng, n, d), l)
+	spec := (&lang.PortalExpr{}).AddLayer(lang.FORALL, q, nil)
+	if k > 0 {
+		spec = spec.AddLayerK(op, k, r, kernel)
+	} else {
+		spec = spec.AddLayer(op, r, kernel)
+	}
+	plan, prog, err := lower.Lower("bench", spec, lower.Options{Tau: 1e-9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := Compile(plan, prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qt := tree.BuildKD(q, &tree.Options{LeafSize: n})
+	rt := tree.BuildKD(r, &tree.Options{LeafSize: n})
+	return ex.Bind(qt, rt)
+}
+
+func benchLeafPair(b *testing.B, d int, l storage.Layout, op lang.Op, k int, mk func() *expr.Kernel) {
+	for _, v := range []struct {
+		name string
+		opts Options
+	}{
+		{"fused", Options{NoStats: true}},
+		{"legacy", Options{NoStats: true, NoFuse: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			run := benchLeafRun(b, d, l, op, k, mk(), v.opts)
+			qn, rn := run.Q.Node(0), run.R.Node(0)
+			if v.name == "fused" && run.fused == nil {
+				b.Fatal("combination did not select a fused loop")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run.BaseCase(qn, rn)
+			}
+		})
+	}
+}
+
+func BenchmarkBaseCaseLeafKNN3Col(b *testing.B) {
+	benchLeafPair(b, 3, storage.ColMajor, lang.KARGMIN, 5, func() *expr.Kernel {
+		return expr.NewDistanceKernel(geom.Euclidean)
+	})
+}
+
+func BenchmarkBaseCaseLeafKDE3Col(b *testing.B) {
+	benchLeafPair(b, 3, storage.ColMajor, lang.SUM, 0, func() *expr.Kernel {
+		return expr.NewGaussianKernel(1)
+	})
+}
+
+func BenchmarkBaseCaseLeafMin3Col(b *testing.B) {
+	benchLeafPair(b, 3, storage.ColMajor, lang.MIN, 0, func() *expr.Kernel {
+		return expr.NewDistanceKernel(geom.SqEuclidean)
+	})
+}
+
+func BenchmarkBaseCaseLeafKDE8Row(b *testing.B) {
+	benchLeafPair(b, 8, storage.RowMajor, lang.SUM, 0, func() *expr.Kernel {
+		return expr.NewGaussianKernel(1)
+	})
+}
+
+func BenchmarkBaseCaseLeaf2PC3Col(b *testing.B) {
+	benchLeafPair(b, 3, storage.ColMajor, lang.SUM, 0, func() *expr.Kernel {
+		return expr.NewThresholdKernel(2)
+	})
+}

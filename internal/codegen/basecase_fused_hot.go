@@ -1,0 +1,946 @@
+package codegen
+
+import (
+	"portal/internal/fastmath"
+	"portal/internal/lang"
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// Hand-monomorphized fused loops for the hot (operator × kernel ×
+// layout) combinations — the paper's headline base cases (KNN, KDE,
+// two-point counting, range search, nearest neighbor) over both
+// storage layouts.
+//
+// The generic instantiations in basecase_fused.go are compiled by Go
+// under gcshape stenciling: every pair source and kernel struct of a
+// given shape shares one instantiation whose method calls go through a
+// runtime dictionary — an indirect call per point pair, which is
+// exactly the overhead fusion exists to remove (`-gcflags=-m=2` shows
+// the `.dict` calls). The loops here are plain functions written out
+// per dimension, so the pair body compiles to straight-line
+// arithmetic. The generic path stays as the correctness-equivalent
+// long tail for every other combination; selectFused consults this
+// table first.
+//
+// Two idioms matter for the column-major bodies:
+//
+//   - the reference columns are re-sliced to the current tile
+//     (c[rb:re]) and the inner loop ranges over the first of them —
+//     this hands the compiler the length equality it needs to
+//     eliminate the bounds checks on every per-dimension access,
+//     which otherwise cost as much as the arithmetic itself;
+//   - accumulators live in registers across the tile sweep (acc /
+//     cnt / best / the k-list admission threshold), with one
+//     Val/Arg/list write-back per (query, tile) — never per pair.
+//
+// Results are bit-identical to the generic fused loops: same
+// evaluation order, same math.
+
+// selectGaussHot returns the hand-specialized KDE loop (SUM over
+// exp(c·d²) via ExpFast), or nil when the combination has none.
+func selectGaussHot(op lang.Op, qd, rd *storage.Storage, gc float64) fusedFn {
+	if op != lang.SUM {
+		return nil
+	}
+	switch {
+	case bothColMajor(qd, rd):
+		switch qd.Dim() {
+		case 1:
+			return func(r *Run, qn, rn *tree.Node) { hotSumGaussCol1(r, gc, qn, rn) }
+		case 2:
+			return func(r *Run, qn, rn *tree.Node) { hotSumGaussCol2(r, gc, qn, rn) }
+		case 3:
+			return func(r *Run, qn, rn *tree.Node) { hotSumGaussCol3(r, gc, qn, rn) }
+		default:
+			return func(r *Run, qn, rn *tree.Node) { hotSumGaussCol4(r, gc, qn, rn) }
+		}
+	case bothRowMajor(qd, rd):
+		return func(r *Run, qn, rn *tree.Node) { hotSumGaussRow(r, gc, qn, rn) }
+	}
+	return nil
+}
+
+// selectIdentHot returns the hand-specialized identity-kernel loops:
+// k-nearest admission (KMIN/KARGMIN), nearest neighbor (ARGMIN), and
+// plain SUM over the raw squared distance.
+func selectIdentHot(op lang.Op, qd, rd *storage.Storage) fusedFn {
+	col := bothColMajor(qd, rd)
+	row := bothRowMajor(qd, rd)
+	switch op {
+	case lang.KMIN, lang.KARGMIN:
+		switch {
+		case col:
+			return [4]fusedFn{hotKMinIdentCol1, hotKMinIdentCol2, hotKMinIdentCol3, hotKMinIdentCol4}[qd.Dim()-1]
+		case row:
+			return hotKMinIdentRow
+		}
+	case lang.ARGMIN:
+		switch {
+		case col:
+			return [4]fusedFn{hotArgMinIdentCol1, hotArgMinIdentCol2, hotArgMinIdentCol3, hotArgMinIdentCol4}[qd.Dim()-1]
+		case row:
+			return hotArgMinIdentRow
+		}
+	case lang.MIN:
+		switch {
+		case col:
+			return [4]fusedFn{hotMinIdentCol1, hotMinIdentCol2, hotMinIdentCol3, hotMinIdentCol4}[qd.Dim()-1]
+		case row:
+			return hotMinIdentRow
+		}
+	case lang.SUM:
+		switch {
+		case col:
+			return [4]fusedFn{hotSumIdentCol1, hotSumIdentCol2, hotSumIdentCol3, hotSumIdentCol4}[qd.Dim()-1]
+		case row:
+			return hotSumIdentRow
+		}
+	}
+	return nil
+}
+
+// selectWindowHot returns the hand-specialized indicator-window loops
+// (two-point counting and range-search collection against the
+// compiled squared thresholds).
+func selectWindowHot(op lang.Op, qd, rd *storage.Storage, lo2, hi2 float64) fusedFn {
+	mk := func(f func(r *Run, lo2, hi2 float64, qn, rn *tree.Node)) fusedFn {
+		return func(r *Run, qn, rn *tree.Node) { f(r, lo2, hi2, qn, rn) }
+	}
+	col := bothColMajor(qd, rd)
+	row := bothRowMajor(qd, rd)
+	switch op {
+	case lang.SUM:
+		switch {
+		case col:
+			switch qd.Dim() {
+			case 1:
+				return mk(hotWindowSumCol1)
+			case 2:
+				return mk(hotWindowSumCol2)
+			case 3:
+				return mk(hotWindowSumCol3)
+			default:
+				return mk(hotWindowSumCol4)
+			}
+		case row:
+			return mk(hotWindowSumRow)
+		}
+	case lang.UNIONARG:
+		switch {
+		case col:
+			switch qd.Dim() {
+			case 1:
+				return mk(hotWindowUnionCol1)
+			case 2:
+				return mk(hotWindowUnionCol2)
+			case 3:
+				return mk(hotWindowUnionCol3)
+			default:
+				return mk(hotWindowUnionCol4)
+			}
+		case row:
+			return mk(hotWindowUnionRow)
+		}
+	}
+	return nil
+}
+
+func bothColMajor(qd, rd *storage.Storage) bool {
+	return qd.Layout() == storage.ColMajor && rd.Layout() == storage.ColMajor &&
+		qd.Dim() <= storage.ColMajorMaxDim
+}
+
+func bothRowMajor(qd, rd *storage.Storage) bool {
+	return qd.Layout() == storage.RowMajor && rd.Layout() == storage.RowMajor
+}
+
+// ---- KDE: SUM over the fast Gaussian body ----
+
+func hotSumGaussCol1(r *Run, gc float64, qn, rn *tree.Node) {
+	q0 := r.Q.Data.Col(0)
+	c0 := r.R.Data.Col(0)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0 := c0[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			var acc float64
+			for _, v0 := range r0 {
+				d0 := a0 - v0
+				acc += fastmath.ExpFast(gc * (d0 * d0))
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumGaussCol2(r *Run, gc float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1 := qd.Col(0), qd.Col(1)
+	c0, c1 := rd.Col(0), rd.Col(1)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1 := c0[rb:re], c1[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			var acc float64
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				acc += fastmath.ExpFast(gc * (d0*d0 + d1*d1))
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumGaussCol3(r *Run, gc float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2 := qd.Col(0), qd.Col(1), qd.Col(2)
+	c0, c1, c2 := rd.Col(0), rd.Col(1), rd.Col(2)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2 := c0[rb:re], c1[rb:re], c2[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			var acc float64
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				acc += fastmath.ExpFast(gc * (d0*d0 + d1*d1 + d2*d2))
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumGaussCol4(r *Run, gc float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2, q3 := qd.Col(0), qd.Col(1), qd.Col(2), qd.Col(3)
+	c0, c1, c2, c3 := rd.Col(0), rd.Col(1), rd.Col(2), rd.Col(3)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2, r3 := c0[rb:re], c1[rb:re], c2[rb:re], c3[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			var acc float64
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				d3 := a3 - r3[j]
+				acc += fastmath.ExpFast(gc * ((d0*d0 + d1*d1) + (d2*d2 + d3*d3)))
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumGaussRow(r *Run, gc float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			var acc float64
+			for ri := rb; ri < re; ri++ {
+				acc += fastmath.ExpFast(gc * fastmath.Hypot2(q, rd.Row(ri)))
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+// ---- SUM over the raw squared distance ----
+
+func hotSumIdentCol1(r *Run, qn, rn *tree.Node) {
+	q0 := r.Q.Data.Col(0)
+	c0 := r.R.Data.Col(0)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0 := c0[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			var acc float64
+			for _, v0 := range r0 {
+				d0 := a0 - v0
+				acc += d0 * d0
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumIdentCol2(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1 := qd.Col(0), qd.Col(1)
+	c0, c1 := rd.Col(0), rd.Col(1)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1 := c0[rb:re], c1[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			var acc float64
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				acc += d0*d0 + d1*d1
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumIdentCol3(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2 := qd.Col(0), qd.Col(1), qd.Col(2)
+	c0, c1, c2 := rd.Col(0), rd.Col(1), rd.Col(2)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2 := c0[rb:re], c1[rb:re], c2[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			var acc float64
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				acc += d0*d0 + d1*d1 + d2*d2
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumIdentCol4(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2, q3 := qd.Col(0), qd.Col(1), qd.Col(2), qd.Col(3)
+	c0, c1, c2, c3 := rd.Col(0), rd.Col(1), rd.Col(2), rd.Col(3)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2, r3 := c0[rb:re], c1[rb:re], c2[rb:re], c3[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			var acc float64
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				d3 := a3 - r3[j]
+				acc += (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+func hotSumIdentRow(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			var acc float64
+			for ri := rb; ri < re; ri++ {
+				acc += fastmath.Hypot2(q, rd.Row(ri))
+			}
+			val[qi] += acc
+		}
+	}
+}
+
+// ---- KNN: KMIN/KARGMIN over the raw squared distance ----
+//
+// The admission threshold (the k-th best value so far) stays in a
+// register; KList.Insert — the only call left in the loop — runs only
+// on admission, which is rare once the list warms up.
+
+func hotKMinIdentCol1(r *Run, qn, rn *tree.Node) {
+	q0 := r.Q.Data.Col(0)
+	c0 := r.R.Data.Col(0)
+	kls := r.KLists
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0 := c0[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			kl := kls[qi]
+			worst := kl.Worst()
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				if v := d0 * d0; v < worst {
+					kl.Insert(v, rb+j)
+					worst = kl.Worst()
+				}
+			}
+		}
+	}
+}
+
+func hotKMinIdentCol2(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1 := qd.Col(0), qd.Col(1)
+	c0, c1 := rd.Col(0), rd.Col(1)
+	kls := r.KLists
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1 := c0[rb:re], c1[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			kl := kls[qi]
+			worst := kl.Worst()
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				if v := d0*d0 + d1*d1; v < worst {
+					kl.Insert(v, rb+j)
+					worst = kl.Worst()
+				}
+			}
+		}
+	}
+}
+
+func hotKMinIdentCol3(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2 := qd.Col(0), qd.Col(1), qd.Col(2)
+	c0, c1, c2 := rd.Col(0), rd.Col(1), rd.Col(2)
+	kls := r.KLists
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2 := c0[rb:re], c1[rb:re], c2[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			kl := kls[qi]
+			worst := kl.Worst()
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				if v := d0*d0 + d1*d1 + d2*d2; v < worst {
+					kl.Insert(v, rb+j)
+					worst = kl.Worst()
+				}
+			}
+		}
+	}
+}
+
+func hotKMinIdentCol4(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2, q3 := qd.Col(0), qd.Col(1), qd.Col(2), qd.Col(3)
+	c0, c1, c2, c3 := rd.Col(0), rd.Col(1), rd.Col(2), rd.Col(3)
+	kls := r.KLists
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2, r3 := c0[rb:re], c1[rb:re], c2[rb:re], c3[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			kl := kls[qi]
+			worst := kl.Worst()
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				d3 := a3 - r3[j]
+				if v := (d0*d0 + d1*d1) + (d2*d2 + d3*d3); v < worst {
+					kl.Insert(v, rb+j)
+					worst = kl.Worst()
+				}
+			}
+		}
+	}
+}
+
+func hotKMinIdentRow(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	kls := r.KLists
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			kl := kls[qi]
+			worst := kl.Worst()
+			for ri := rb; ri < re; ri++ {
+				if v := fastmath.Hypot2(q, rd.Row(ri)); v < worst {
+					kl.Insert(v, ri)
+					worst = kl.Worst()
+				}
+			}
+		}
+	}
+}
+
+// ---- MIN over the raw squared distance (nearest distance) ----
+
+func hotMinIdentCol1(r *Run, qn, rn *tree.Node) {
+	q0 := r.Q.Data.Col(0)
+	c0 := r.R.Data.Col(0)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0 := c0[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			best := val[qi]
+			for _, v0 := range r0 {
+				d0 := a0 - v0
+				if v := d0 * d0; v < best {
+					best = v
+				}
+			}
+			val[qi] = best
+		}
+	}
+}
+
+func hotMinIdentCol2(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1 := qd.Col(0), qd.Col(1)
+	c0, c1 := rd.Col(0), rd.Col(1)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1 := c0[rb:re], c1[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			best := val[qi]
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				if v := d0*d0 + d1*d1; v < best {
+					best = v
+				}
+			}
+			val[qi] = best
+		}
+	}
+}
+
+func hotMinIdentCol3(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2 := qd.Col(0), qd.Col(1), qd.Col(2)
+	c0, c1, c2 := rd.Col(0), rd.Col(1), rd.Col(2)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2 := c0[rb:re], c1[rb:re], c2[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			best := val[qi]
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				if v := d0*d0 + d1*d1 + d2*d2; v < best {
+					best = v
+				}
+			}
+			val[qi] = best
+		}
+	}
+}
+
+func hotMinIdentCol4(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2, q3 := qd.Col(0), qd.Col(1), qd.Col(2), qd.Col(3)
+	c0, c1, c2, c3 := rd.Col(0), rd.Col(1), rd.Col(2), rd.Col(3)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2, r3 := c0[rb:re], c1[rb:re], c2[rb:re], c3[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			best := val[qi]
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				d3 := a3 - r3[j]
+				if v := (d0*d0 + d1*d1) + (d2*d2 + d3*d3); v < best {
+					best = v
+				}
+			}
+			val[qi] = best
+		}
+	}
+}
+
+func hotMinIdentRow(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			best := val[qi]
+			for ri := rb; ri < re; ri++ {
+				if v := fastmath.Hypot2(q, rd.Row(ri)); v < best {
+					best = v
+				}
+			}
+			val[qi] = best
+		}
+	}
+}
+
+// ---- NN: ARGMIN over the raw squared distance ----
+
+func hotArgMinIdentCol1(r *Run, qn, rn *tree.Node) {
+	q0 := r.Q.Data.Col(0)
+	c0 := r.R.Data.Col(0)
+	val, arg := r.Val, r.Arg
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0 := c0[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			best := val[qi]
+			bestArg := -1
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				if v := d0 * d0; v < best {
+					best, bestArg = v, rb+j
+				}
+			}
+			if bestArg >= 0 {
+				val[qi], arg[qi] = best, bestArg
+			}
+		}
+	}
+}
+
+func hotArgMinIdentCol2(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1 := qd.Col(0), qd.Col(1)
+	c0, c1 := rd.Col(0), rd.Col(1)
+	val, arg := r.Val, r.Arg
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1 := c0[rb:re], c1[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			best := val[qi]
+			bestArg := -1
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				if v := d0*d0 + d1*d1; v < best {
+					best, bestArg = v, rb+j
+				}
+			}
+			if bestArg >= 0 {
+				val[qi], arg[qi] = best, bestArg
+			}
+		}
+	}
+}
+
+func hotArgMinIdentCol3(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2 := qd.Col(0), qd.Col(1), qd.Col(2)
+	c0, c1, c2 := rd.Col(0), rd.Col(1), rd.Col(2)
+	val, arg := r.Val, r.Arg
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2 := c0[rb:re], c1[rb:re], c2[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			best := val[qi]
+			bestArg := -1
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				if v := d0*d0 + d1*d1 + d2*d2; v < best {
+					best, bestArg = v, rb+j
+				}
+			}
+			if bestArg >= 0 {
+				val[qi], arg[qi] = best, bestArg
+			}
+		}
+	}
+}
+
+func hotArgMinIdentCol4(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2, q3 := qd.Col(0), qd.Col(1), qd.Col(2), qd.Col(3)
+	c0, c1, c2, c3 := rd.Col(0), rd.Col(1), rd.Col(2), rd.Col(3)
+	val, arg := r.Val, r.Arg
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2, r3 := c0[rb:re], c1[rb:re], c2[rb:re], c3[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			best := val[qi]
+			bestArg := -1
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				d3 := a3 - r3[j]
+				if v := (d0*d0 + d1*d1) + (d2*d2 + d3*d3); v < best {
+					best, bestArg = v, rb+j
+				}
+			}
+			if bestArg >= 0 {
+				val[qi], arg[qi] = best, bestArg
+			}
+		}
+	}
+}
+
+func hotArgMinIdentRow(r *Run, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	val, arg := r.Val, r.Arg
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			best := val[qi]
+			bestArg := -1
+			for ri := rb; ri < re; ri++ {
+				if v := fastmath.Hypot2(q, rd.Row(ri)); v < best {
+					best, bestArg = v, ri
+				}
+			}
+			if bestArg >= 0 {
+				val[qi], arg[qi] = best, bestArg
+			}
+		}
+	}
+}
+
+// ---- 2PC: strict-window counting ----
+
+func hotWindowSumCol1(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	q0 := r.Q.Data.Col(0)
+	c0 := r.R.Data.Col(0)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0 := c0[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			cnt := 0
+			for _, v0 := range r0 {
+				d0 := a0 - v0
+				if s := d0 * d0; s > lo2 && s < hi2 {
+					cnt++
+				}
+			}
+			val[qi] += float64(cnt)
+		}
+	}
+}
+
+func hotWindowSumCol2(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1 := qd.Col(0), qd.Col(1)
+	c0, c1 := rd.Col(0), rd.Col(1)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1 := c0[rb:re], c1[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			cnt := 0
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				if s := d0*d0 + d1*d1; s > lo2 && s < hi2 {
+					cnt++
+				}
+			}
+			val[qi] += float64(cnt)
+		}
+	}
+}
+
+func hotWindowSumCol3(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2 := qd.Col(0), qd.Col(1), qd.Col(2)
+	c0, c1, c2 := rd.Col(0), rd.Col(1), rd.Col(2)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2 := c0[rb:re], c1[rb:re], c2[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			cnt := 0
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				if s := d0*d0 + d1*d1 + d2*d2; s > lo2 && s < hi2 {
+					cnt++
+				}
+			}
+			val[qi] += float64(cnt)
+		}
+	}
+}
+
+func hotWindowSumCol4(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2, q3 := qd.Col(0), qd.Col(1), qd.Col(2), qd.Col(3)
+	c0, c1, c2, c3 := rd.Col(0), rd.Col(1), rd.Col(2), rd.Col(3)
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2, r3 := c0[rb:re], c1[rb:re], c2[rb:re], c3[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			cnt := 0
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				d3 := a3 - r3[j]
+				if s := (d0*d0 + d1*d1) + (d2*d2 + d3*d3); s > lo2 && s < hi2 {
+					cnt++
+				}
+			}
+			val[qi] += float64(cnt)
+		}
+	}
+}
+
+func hotWindowSumRow(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	val := r.Val
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			cnt := 0
+			for ri := rb; ri < re; ri++ {
+				if s := fastmath.Hypot2(q, rd.Row(ri)); s > lo2 && s < hi2 {
+					cnt++
+				}
+			}
+			val[qi] += float64(cnt)
+		}
+	}
+}
+
+// ---- RS: strict-window collection ----
+
+func hotWindowUnionCol1(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	q0 := r.Q.Data.Col(0)
+	c0 := r.R.Data.Col(0)
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0 := c0[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0 := q0[qi]
+			idx := r.IdxLists[qi]
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				if s := d0 * d0; s > lo2 && s < hi2 {
+					idx = append(idx, rb+j)
+				}
+			}
+			r.IdxLists[qi] = idx
+		}
+	}
+}
+
+func hotWindowUnionCol2(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1 := qd.Col(0), qd.Col(1)
+	c0, c1 := rd.Col(0), rd.Col(1)
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1 := c0[rb:re], c1[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1 := q0[qi], q1[qi]
+			idx := r.IdxLists[qi]
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				if s := d0*d0 + d1*d1; s > lo2 && s < hi2 {
+					idx = append(idx, rb+j)
+				}
+			}
+			r.IdxLists[qi] = idx
+		}
+	}
+}
+
+func hotWindowUnionCol3(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2 := qd.Col(0), qd.Col(1), qd.Col(2)
+	c0, c1, c2 := rd.Col(0), rd.Col(1), rd.Col(2)
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2 := c0[rb:re], c1[rb:re], c2[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2 := q0[qi], q1[qi], q2[qi]
+			idx := r.IdxLists[qi]
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				if s := d0*d0 + d1*d1 + d2*d2; s > lo2 && s < hi2 {
+					idx = append(idx, rb+j)
+				}
+			}
+			r.IdxLists[qi] = idx
+		}
+	}
+}
+
+func hotWindowUnionCol4(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	q0, q1, q2, q3 := qd.Col(0), qd.Col(1), qd.Col(2), qd.Col(3)
+	c0, c1, c2, c3 := rd.Col(0), rd.Col(1), rd.Col(2), rd.Col(3)
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		r0, r1, r2, r3 := c0[rb:re], c1[rb:re], c2[rb:re], c3[rb:re]
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			a0, a1, a2, a3 := q0[qi], q1[qi], q2[qi], q3[qi]
+			idx := r.IdxLists[qi]
+			for j, v0 := range r0 {
+				d0 := a0 - v0
+				d1 := a1 - r1[j]
+				d2 := a2 - r2[j]
+				d3 := a3 - r3[j]
+				if s := (d0*d0 + d1*d1) + (d2*d2 + d3*d3); s > lo2 && s < hi2 {
+					idx = append(idx, rb+j)
+				}
+			}
+			r.IdxLists[qi] = idx
+		}
+	}
+}
+
+func hotWindowUnionRow(r *Run, lo2, hi2 float64, qn, rn *tree.Node) {
+	qd, rd := r.Q.Data, r.R.Data
+	for rb := rn.Begin; rb < rn.End; rb += fusedTileR {
+		re := min(rb+fusedTileR, rn.End)
+		for qi := qn.Begin; qi < qn.End; qi++ {
+			q := qd.Row(qi)
+			idx := r.IdxLists[qi]
+			for ri := rb; ri < re; ri++ {
+				if s := fastmath.Hypot2(q, rd.Row(ri)); s > lo2 && s < hi2 {
+					idx = append(idx, ri)
+				}
+			}
+			r.IdxLists[qi] = idx
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/lower"
+	"portal/internal/storage"
+	"portal/internal/traverse"
+	"portal/internal/tree"
+)
+
+// storageWithLayout copies rows into an explicitly laid-out Storage,
+// overriding the d ≤ 4 column-major heuristic — this is how the tests
+// reach every (layout pair × dimension) cell of the dispatch table.
+func storageWithLayout(rows [][]float64, l storage.Layout) *storage.Storage {
+	s := storage.NewWithLayout(len(rows), len(rows[0]), l)
+	for i, r := range rows {
+		s.SetPoint(i, r)
+	}
+	return s
+}
+
+// tryRun is fullRun for spec shapes that may not lower or compile
+// (the matrix test probes every operator × kernel combination and
+// skips the ones the frontend rejects).
+func tryRun(spec *lang.PortalExpr, opts Options) (*Output, error) {
+	// A tiny tau keeps tau-requiring approximation problems (KDE
+	// shapes) compilable while contributing negligible error.
+	plan, prog, err := lower.Lower("t", spec, lower.Options{Tau: 1e-9})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := Compile(plan, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	qt := tree.BuildKD(spec.Outer().Data, &tree.Options{LeafSize: 8})
+	rt := tree.BuildKD(spec.Inner().Data, &tree.Options{LeafSize: 8})
+	run := ex.Bind(qt, rt)
+	traverse.RunStats(qt, rt, run, run.TraversalStats())
+	return run.Finalize(), nil
+}
+
+// closeVals asserts element equality: exact when tol is 0, relative
+// otherwise (SUM/PROD reassociate in the fused loops).
+func closeVals(t *testing.T, ctx string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values vs %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g == w || (math.IsNaN(g) && math.IsNaN(w)) {
+			continue
+		}
+		if tol > 0 && math.Abs(g-w) <= tol*(1+math.Abs(w)) {
+			continue
+		}
+		t.Fatalf("%s: value %d: %v vs %v", ctx, i, g, w)
+	}
+}
+
+func sameInts(t *testing.T, ctx string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d args vs %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: arg %d: %d vs %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func compareOutputs(t *testing.T, ctx string, got, want *Output, sumTol float64) {
+	t.Helper()
+	closeVals(t, ctx+" values", got.Values, want.Values, sumTol)
+	sameInts(t, ctx+" args", got.Args, want.Args)
+	if len(got.ArgLists) != len(want.ArgLists) {
+		t.Fatalf("%s: arglists %d vs %d", ctx, len(got.ArgLists), len(want.ArgLists))
+	}
+	for i := range got.ArgLists {
+		sameInts(t, fmt.Sprintf("%s arglist %d", ctx, i), got.ArgLists[i], want.ArgLists[i])
+	}
+	if len(got.ValueLists) != len(want.ValueLists) {
+		t.Fatalf("%s: valuelists %d vs %d", ctx, len(got.ValueLists), len(want.ValueLists))
+	}
+	for i := range got.ValueLists {
+		closeVals(t, fmt.Sprintf("%s valuelist %d", ctx, i), got.ValueLists[i], want.ValueLists[i], sumTol)
+	}
+	if got.HasScalar != want.HasScalar {
+		t.Fatalf("%s: HasScalar %v vs %v", ctx, got.HasScalar, want.HasScalar)
+	}
+	if want.HasScalar {
+		closeVals(t, ctx+" scalar", []float64{got.Scalar}, []float64{want.Scalar}, sumTol)
+	}
+}
+
+// TestFusedMatchesOracleMatrix differentially tests every fused loop:
+// all inner operators × Euclidean-family kernels × layout pairs ×
+// d ∈ {1..6}, each compared against the legacy loops (NoFuse) and the
+// IR interpreter (ForceInterp). Combinations the frontend rejects are
+// skipped; for the ones that compile, the fused path must have
+// handled every base case (FusedBaseCases == BaseCases).
+//
+// Comparison policy (DESIGN §9): comparative operators, windows, and
+// index lists are exact; SUM/PROD values carry a small relative
+// tolerance because the fused loops accumulate per tile into a
+// register before folding into Val[qi] (float reassociation).
+func TestFusedMatchesOracleMatrix(t *testing.T) {
+	kernels := []struct {
+		name string
+		mk   func() *expr.Kernel
+	}{
+		{"sqeuclid", func() *expr.Kernel { return expr.NewDistanceKernel(geom.SqEuclidean) }},
+		{"euclid", func() *expr.Kernel { return expr.NewDistanceKernel(geom.Euclidean) }},
+		{"gauss", func() *expr.Kernel { return expr.NewGaussianKernel(1.2) }},
+		{"plummer", func() *expr.Kernel { return expr.NewPlummerKernel(0.3) }},
+		{"range", func() *expr.Kernel { return expr.NewRangeKernel(0.5, 3) }},
+		{"threshold", func() *expr.Kernel { return expr.NewThresholdKernel(2) }},
+	}
+	ops := []struct {
+		op lang.Op
+		k  int
+	}{
+		{lang.SUM, 0}, {lang.PROD, 0},
+		{lang.MIN, 0}, {lang.MAX, 0}, {lang.ARGMIN, 0}, {lang.ARGMAX, 0},
+		{lang.KMIN, 4}, {lang.KMAX, 4}, {lang.KARGMIN, 4}, {lang.KARGMAX, 4},
+		{lang.UNION, 0}, {lang.UNIONARG, 0},
+	}
+	layouts := []struct {
+		name   string
+		ql, rl storage.Layout
+	}{
+		{"row-row", storage.RowMajor, storage.RowMajor},
+		{"col-col", storage.ColMajor, storage.ColMajor},
+		{"row-col", storage.RowMajor, storage.ColMajor},
+		{"col-row", storage.ColMajor, storage.RowMajor},
+	}
+	rng := rand.New(rand.NewSource(17))
+	compiled, fusedRuns := 0, 0
+	for d := 1; d <= 6; d++ {
+		qRows := randRows(rng, 30, d)
+		rRows := randRows(rng, 40, d)
+		for _, lay := range layouts {
+			q := storageWithLayout(qRows, lay.ql)
+			r := storageWithLayout(rRows, lay.rl)
+			for _, kc := range kernels {
+				for _, oc := range ops {
+					ctx := fmt.Sprintf("d=%d %s %s %v", d, lay.name, kc.name, oc.op)
+					mkSpec := func() *lang.PortalExpr {
+						e := (&lang.PortalExpr{}).AddLayer(lang.FORALL, q, nil)
+						if oc.k > 0 {
+							return e.AddLayerK(oc.op, oc.k, r, kc.mk())
+						}
+						return e.AddLayer(oc.op, r, kc.mk())
+					}
+					opts := Options{ExactMath: true}
+					fused, err := tryRun(mkSpec(), opts)
+					if err != nil {
+						continue // frontend rejects this combination
+					}
+					compiled++
+					opts.NoFuse = true
+					legacy, err := tryRun(mkSpec(), opts)
+					if err != nil {
+						t.Fatalf("%s: NoFuse failed after fused compiled: %v", ctx, err)
+					}
+					tol := 0.0
+					if oc.op == lang.SUM || oc.op == lang.PROD {
+						tol = 1e-12
+					}
+					compareOutputs(t, ctx+" vs legacy", fused, legacy, tol)
+					interp, err := tryRun(mkSpec(), Options{ExactMath: true, ForceInterp: true})
+					if err != nil {
+						t.Fatalf("%s: ForceInterp failed after fused compiled: %v", ctx, err)
+					}
+					// The interpreter may break value ties differently, so
+					// only the value surfaces are compared against it.
+					closeVals(t, ctx+" vs interp values", fused.Values, interp.Values, 1e-9)
+					if fused.Stats.BaseCases > 0 && fused.Stats.FusedBaseCases != fused.Stats.BaseCases {
+						t.Fatalf("%s: %d of %d base cases fused", ctx,
+							fused.Stats.FusedBaseCases, fused.Stats.BaseCases)
+					}
+					if legacy.Stats.FusedBaseCases != 0 {
+						t.Fatalf("%s: NoFuse run reported fused base cases", ctx)
+					}
+					if fused.Stats.FusedBaseCases > 0 {
+						fusedRuns++
+					}
+				}
+			}
+		}
+	}
+	if compiled < 100 {
+		t.Fatalf("matrix degenerated: only %d combinations compiled", compiled)
+	}
+	if fusedRuns == 0 {
+		t.Fatal("no combination took a fused base case")
+	}
+}
+
+// TestFusedFastMathAgreesWithinTolerance reruns a KDE-style slice of
+// the matrix with fast math on: the fused Gaussian/Plummer bodies
+// (GaussD2/PlummerD2) must match the legacy closures to the fastmath
+// error bounds.
+func TestFusedFastMathAgreesWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, mk := range []func() *expr.Kernel{
+		func() *expr.Kernel { return expr.NewGaussianKernel(0.9) },
+		func() *expr.Kernel { return expr.NewPlummerKernel(0.25) },
+	} {
+		q := storage.MustFromRows(randRows(rng, 50, 3))
+		r := storage.MustFromRows(randRows(rng, 60, 3))
+		mkSpec := func() *lang.PortalExpr {
+			return (&lang.PortalExpr{}).
+				AddLayer(lang.FORALL, q, nil).
+				AddLayer(lang.SUM, r, mk())
+		}
+		fused := fullRun(t, mkSpec(), 1e-9, Options{})
+		legacy := fullRun(t, mkSpec(), 1e-9, Options{NoFuse: true})
+		closeVals(t, "fastmath fused vs legacy", fused.Values, legacy.Values, 1e-4)
+	}
+}
+
+// TestFusedWindowBoundary pins the strict-window semantics on points
+// whose distance lands exactly on a threshold: d == lo and d == hi
+// must be excluded by the fused loops, the legacy loops, and the
+// interpreter alike.
+func TestFusedWindowBoundary(t *testing.T) {
+	qRows := [][]float64{{0}, {10}}
+	rRows := [][]float64{{1}, {1.5}, {2}, {3}, {11}, {11.5}}
+	// Window (1, 2) strict: only the points at distance 1.5 survive —
+	// one per query (indices 1 and 5).
+	wantArgs := [][]int{{1}, {5}}
+	for _, lay := range []storage.Layout{storage.RowMajor, storage.ColMajor} {
+		q := storageWithLayout(qRows, lay)
+		r := storageWithLayout(rRows, lay)
+		for _, op := range []lang.Op{lang.UNIONARG, lang.SUM} {
+			mkSpec := func() *lang.PortalExpr {
+				return (&lang.PortalExpr{}).
+					AddLayer(lang.FORALL, q, nil).
+					AddLayer(op, r, expr.NewRangeKernel(1, 2))
+			}
+			for name, opts := range map[string]Options{
+				"fused":  {},
+				"nofuse": {NoFuse: true},
+				"interp": {ForceInterp: true},
+			} {
+				out := fullRun(t, mkSpec(), 0, opts)
+				ctx := fmt.Sprintf("layout=%v op=%v %s", lay, op, name)
+				if op == lang.SUM {
+					closeVals(t, ctx, out.Values, []float64{1, 1}, 0)
+					continue
+				}
+				for i, want := range wantArgs {
+					sameInts(t, ctx, out.ArgLists[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedDispatchSelection asserts the fused loop is only installed
+// when it should be: never for non-Euclidean metrics, Mahalanobis
+// kernels, NoFuse, or ForceInterp — and always for the bread-and-
+// butter KDE/KNN shapes.
+func TestFusedDispatchSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	q := storage.MustFromRows(randRows(rng, 20, 3))
+	r := storage.MustFromRows(randRows(rng, 20, 3))
+	bind := func(kernel *expr.Kernel, op lang.Op, opts Options) *Run {
+		spec := (&lang.PortalExpr{}).
+			AddLayer(lang.FORALL, q, nil).
+			AddLayer(op, r, kernel)
+		plan, prog, err := lower.Lower("t", spec, lower.Options{Tau: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := Compile(plan, prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex.Bind(tree.BuildKD(q, nil), tree.BuildKD(r, nil))
+	}
+	if run := bind(expr.NewGaussianKernel(1), lang.SUM, Options{}); run.fused == nil {
+		t.Error("KDE shape should select a fused loop")
+	}
+	if run := bind(expr.NewDistanceKernel(geom.Euclidean), lang.ARGMIN, Options{}); run.fused == nil {
+		t.Error("NN shape should select a fused loop")
+	}
+	if run := bind(expr.NewGaussianKernel(1), lang.SUM, Options{NoFuse: true}); run.fused != nil {
+		t.Error("NoFuse must disable the fused loop")
+	}
+	if run := bind(expr.NewGaussianKernel(1), lang.SUM, Options{ForceInterp: true}); run.fused != nil {
+		t.Error("ForceInterp must disable the fused loop")
+	}
+	if run := bind(expr.NewDistanceKernel(geom.Manhattan), lang.MIN, Options{}); run.fused != nil {
+		t.Error("Manhattan metric must not fuse")
+	}
+	if run := bind(expr.NewDistanceKernel(geom.Chebyshev), lang.MIN, Options{}); run.fused != nil {
+		t.Error("Chebyshev metric must not fuse")
+	}
+}
+
+// TestColMajorHighDimBaseCase regression-tests the explicit
+// column-major d > 4 path: the legacy dispatch used to route it into
+// the d ≤ 4 specialized loops, silently dropping dimensions.
+func TestColMajorHighDimBaseCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := 5
+	qRows := randRows(rng, 30, d)
+	rRows := randRows(rng, 40, d)
+	q := storageWithLayout(qRows, storage.ColMajor)
+	r := storageWithLayout(rRows, storage.ColMajor)
+	for name, opts := range map[string]Options{"fused": {}, "nofuse": {NoFuse: true}} {
+		spec := (&lang.PortalExpr{}).
+			AddLayer(lang.FORALL, q, nil).
+			AddLayer(lang.MIN, r, expr.NewDistanceKernel(geom.SqEuclidean))
+		out := fullRun(t, spec, 0, opts)
+		qb, rb := make([]float64, d), make([]float64, d)
+		for i := 0; i < len(qRows); i += 7 {
+			want := math.Inf(1)
+			for j := 0; j < len(rRows); j++ {
+				if d2 := geom.SqDist(q.Point(i, qb), r.Point(j, rb)); d2 < want {
+					want = d2
+				}
+			}
+			if math.Abs(out.Values[i]-want) > 1e-12 {
+				t.Fatalf("%s: col-major d=5 query %d: %v vs %v (dimensions dropped?)",
+					name, i, out.Values[i], want)
+			}
+		}
+	}
+}
+
+// TestMixedLayoutBaseCase regression-tests the mixed-layout fast path
+// (row view on one side, scratch copies on the other) against direct
+// evaluation, with and without fusion.
+func TestMixedLayoutBaseCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	d := 3
+	qRows := randRows(rng, 30, d)
+	rRows := randRows(rng, 40, d)
+	cases := []struct {
+		name   string
+		ql, rl storage.Layout
+	}{
+		{"qrow-rcol", storage.RowMajor, storage.ColMajor},
+		{"qcol-rrow", storage.ColMajor, storage.RowMajor},
+	}
+	for _, c := range cases {
+		q := storageWithLayout(qRows, c.ql)
+		r := storageWithLayout(rRows, c.rl)
+		for name, opts := range map[string]Options{"fused": {}, "nofuse": {NoFuse: true}} {
+			spec := (&lang.PortalExpr{}).
+				AddLayer(lang.FORALL, q, nil).
+				AddLayer(lang.SUM, r, expr.NewGaussianKernel(1.1))
+			out := fullRun(t, spec, 1e-9, Options{NoFuse: opts.NoFuse})
+			_ = name
+			qb, rb := make([]float64, d), make([]float64, d)
+			for i := 0; i < len(qRows); i += 9 {
+				var want float64
+				for j := 0; j < len(rRows); j++ {
+					want += math.Exp(-geom.SqDist(q.Point(i, qb), r.Point(j, rb)) / (2 * 1.1 * 1.1))
+				}
+				if math.Abs(out.Values[i]-want) > 1e-6*want+1e-9 {
+					t.Fatalf("%s/%s query %d: %v vs %v", c.name, name, i, out.Values[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedStatsAccounting: fusion must not change what the stats
+// layer sees — KernelEvals and BaseCases identical across fused,
+// legacy, and FusedBaseCases reflecting exactly who ran the leaves.
+func TestFusedStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	q := storage.MustFromRows(randRows(rng, 60, 3))
+	r := storage.MustFromRows(randRows(rng, 70, 3))
+	mkSpec := func() *lang.PortalExpr {
+		return (&lang.PortalExpr{}).
+			AddLayer(lang.FORALL, q, nil).
+			AddLayer(lang.SUM, r, expr.NewGaussianKernel(1))
+	}
+	fused := fullRun(t, mkSpec(), 1e-9, Options{})
+	legacy := fullRun(t, mkSpec(), 1e-9, Options{NoFuse: true})
+	interp := fullRun(t, mkSpec(), 1e-9, Options{ForceInterp: true})
+	if fused.Stats.KernelEvals != legacy.Stats.KernelEvals {
+		t.Errorf("kernel evals: fused %d vs legacy %d", fused.Stats.KernelEvals, legacy.Stats.KernelEvals)
+	}
+	if fused.Stats.BaseCases != legacy.Stats.BaseCases {
+		t.Errorf("base cases: fused %d vs legacy %d", fused.Stats.BaseCases, legacy.Stats.BaseCases)
+	}
+	if fused.Stats.BaseCases == 0 || fused.Stats.FusedBaseCases != fused.Stats.BaseCases {
+		t.Errorf("fused run: %d fused of %d base cases", fused.Stats.FusedBaseCases, fused.Stats.BaseCases)
+	}
+	if legacy.Stats.FusedBaseCases != 0 || interp.Stats.FusedBaseCases != 0 {
+		t.Errorf("legacy/interp runs must report zero fused base cases (%d, %d)",
+			legacy.Stats.FusedBaseCases, interp.Stats.FusedBaseCases)
+	}
+}
+
+// TestFusedLoopsZeroAlloc pins the zero-allocation guarantee of the
+// non-append fused loops: bind + setQ traffic must stay on the stack
+// (value pair sources; no gcshape boxing).
+func TestFusedLoopsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 64
+	mk := func(d int, l storage.Layout, op lang.Op, k int, kernel *expr.Kernel) *Run {
+		q := storageWithLayout(randRows(rng, n, d), l)
+		r := storageWithLayout(randRows(rng, n, d), l)
+		spec := (&lang.PortalExpr{}).AddLayer(lang.FORALL, q, nil)
+		if k > 0 {
+			spec = spec.AddLayerK(op, k, r, kernel)
+		} else {
+			spec = spec.AddLayer(op, r, kernel)
+		}
+		plan, prog, err := lower.Lower("t", spec, lower.Options{Tau: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := Compile(plan, prog, Options{NoStats: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Leaf size n: each tree is a single leaf, so the roots form one
+		// base-case pair exercising the full fused loop.
+		qt := tree.BuildKD(q, &tree.Options{LeafSize: n})
+		rt := tree.BuildKD(r, &tree.Options{LeafSize: n})
+		return ex.Bind(qt, rt)
+	}
+	cases := []struct {
+		name string
+		run  *Run
+	}{
+		{"sum-gauss-col3", mk(3, storage.ColMajor, lang.SUM, 0, expr.NewGaussianKernel(1))},
+		{"sum-plummer-row6", mk(6, storage.RowMajor, lang.SUM, 0, expr.NewPlummerKernel(0.2))},
+		{"argmin-ident-col2", mk(2, storage.ColMajor, lang.ARGMIN, 0, expr.NewDistanceKernel(geom.SqEuclidean))},
+		{"kmin-euclid-row5", mk(5, storage.RowMajor, lang.KMIN, 8, expr.NewDistanceKernel(geom.Euclidean))},
+		{"windowsum-col3", mk(3, storage.ColMajor, lang.SUM, 0, expr.NewThresholdKernel(2))},
+		{"min-mixed", mk(4, storage.RowMajor, lang.MIN, 0, expr.NewDistanceKernel(geom.SqEuclidean))},
+	}
+	for _, c := range cases {
+		if c.run.fused == nil {
+			t.Errorf("%s: no fused loop selected", c.name)
+			continue
+		}
+		qn := c.run.Q.Node(0)
+		rn := c.run.R.Node(0)
+		if !qn.IsLeaf() || !rn.IsLeaf() {
+			t.Fatalf("%s: roots are not leaves", c.name)
+		}
+		allocs := testing.AllocsPerRun(20, func() { c.run.fused(c.run, qn, rn) })
+		if allocs != 0 {
+			t.Errorf("%s: fused loop allocates %.1f per base case, want 0", c.name, allocs)
+		}
+	}
+}

@@ -37,6 +37,11 @@ type Options struct {
 	// NoStats disables traversal statistics collection, removing one
 	// atomic add per node pair from the hot path (benchmark runs).
 	NoStats bool
+	// NoFuse disables the fused operator-specialized base cases
+	// (basecase_fused.go) so leaf pairs run the legacy per-pair update
+	// switch — the fusion ablation knob and the baseline side of the
+	// basecase benchmark.
+	NoFuse bool
 }
 
 // DefaultOptions is the production configuration.
@@ -69,6 +74,11 @@ type Executable struct {
 	// decide is the compiled prune/approximate condition, nil when
 	// only the generic interval fallback applies.
 	decide decideFn
+	// fuseKind classifies the kernel body for the fused base cases
+	// (basecase_fused.go); fuseC carries the pre-folded coefficient
+	// (Gaussian exponent scale or Plummer softening).
+	fuseKind fusedKind
+	fuseC    float64
 }
 
 // Compile builds an Executable from the lowered plan and optimized IR.
@@ -107,6 +117,7 @@ func Compile(plan *lower.Plan, prog *ir.Program, opts Options) (*Executable, err
 		ex.bodyFn = CompileBody(plan.MahalKernel.Body, !opts.ExactMath)
 	}
 	ex.decide = ex.compileDecide()
+	ex.classifyFused() // after compileDecide: reads the window thresholds
 	return ex, nil
 }
 

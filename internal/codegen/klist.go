@@ -57,20 +57,30 @@ func (l *KList) Admissible(v float64) bool {
 
 // Insert adds (v, arg) if admissible, keeping the list sorted. It
 // returns true when the list changed.
+//
+// The slot is found by binary search (upper bound: the first index
+// whose value v beats), then the tail shifts with two copy calls —
+// O(log k) comparisons instead of the old linear scan's O(k), which
+// matters once k reaches the tens (see BenchmarkKListInsert). Ties
+// resolve identically to the linear scan: v lands after equal values,
+// so earlier arguments keep priority.
 func (l *KList) Insert(v float64, arg int) bool {
 	if !l.Admissible(v) {
 		return false
 	}
-	// Shift from the tail until v's slot is found; k is small so the
-	// linear shift beats cleverer structures.
-	i := len(l.Vals) - 1
-	for i > 0 && l.better(v, l.Vals[i-1]) {
-		l.Vals[i] = l.Vals[i-1]
-		l.Args[i] = l.Args[i-1]
-		i--
+	lo, hi := 0, len(l.Vals)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.better(v, l.Vals[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	l.Vals[i] = v
-	l.Args[i] = arg
+	copy(l.Vals[lo+1:], l.Vals[lo:])
+	copy(l.Args[lo+1:], l.Args[lo:])
+	l.Vals[lo] = v
+	l.Args[lo] = arg
 	return true
 }
 

@@ -1,0 +1,33 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkKListInsert measures the admission path at the k=64 scale
+// where the binary-search insert pays off over the old linear scan.
+// The value stream mixes ~50% rejections (below Worst) with
+// admissions spread across the list, mirroring a KNN leaf sweep after
+// the list has warmed up.
+func BenchmarkKListInsert(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(map[int]string{8: "k=8", 64: "k=64"}[k], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			vals := make([]float64, 4096)
+			for i := range vals {
+				vals[i] = rng.Float64()
+			}
+			l := NewKList(k, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Periodic reset keeps a realistic admission rate
+				// (~k·ln(n/k)/n) instead of decaying to all-rejections.
+				if i&4095 == 0 {
+					l.Reset()
+				}
+				l.Insert(vals[i&4095], i)
+			}
+		})
+	}
+}

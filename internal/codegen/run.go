@@ -83,6 +83,12 @@ type Run struct {
 	identity bool
 	// op caches the inner operator for the per-pair update switch.
 	op lang.Op
+	// fused is the operator-specialized fused base-case loop selected
+	// at Bind for this (kernel, operator, layout) combination; nil when
+	// the combination has no fused loop. fusedBaseCases counts the leaf
+	// pairs it executed, folded into TraversalStats like kernelEvals.
+	fused          fusedFn
+	fusedBaseCases int64
 }
 
 var _ traverse.Rule = (*Run)(nil)
@@ -152,6 +158,7 @@ func (ex *Executable) Bind(q, r *tree.Tree) *Run {
 	run.identity = ex.Plan.DistKernel != nil &&
 		ex.Plan.DistKernel.Metric == geom.SqEuclidean && ex.bodyFn == nil
 	run.op = ex.Plan.InnerOp
+	run.fused = ex.selectFused(q.Data, r.Data)
 	if mk := ex.Plan.MahalKernel; mk != nil {
 		run.mahal = mk.M.Clone()
 	}
@@ -250,6 +257,7 @@ func (r *Run) Fork() traverse.Rule {
 	c.qbuf = make([]float64, r.Q.Dim())
 	c.rbuf = make([]float64, r.R.Dim())
 	c.kernelEvals = 0 // each task counts only its own evaluations
+	c.fusedBaseCases = 0
 	if r.mahal != nil {
 		c.mahal = r.mahal.Clone()
 	}
@@ -272,6 +280,8 @@ func (r *Run) TraversalStats() *Stats {
 func (r *Run) FlushStats(st *stats.TraversalStats) {
 	st.KernelEvals += r.kernelEvals
 	r.kernelEvals = 0
+	st.FusedBaseCases += r.fusedBaseCases
+	r.fusedBaseCases = 0
 }
 
 // PruneApprox evaluates the generated prune/approximate condition for

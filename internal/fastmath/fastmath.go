@@ -119,8 +119,28 @@ func ExpFast(x float64) float64 {
 	)
 	k := math.Floor(x*log2e + 0.5)
 	r := (x - k*ln2Hi) - k*ln2Lo
-	// Degree-8 Taylor polynomial of e^r on |r| <= ln2/2.
-	p := 1.0 + r*(1.0+r*(0.5+r*(1.0/6+r*(1.0/24+r*(1.0/120+r*(1.0/720+r*(1.0/5040+r/40320)))))))
+	// Degree-8 Taylor polynomial of e^r on |r| <= ln2/2, evaluated in
+	// Estrin form: the coefficient pairs are independent, so the
+	// dependency chain is ~4 multiply-adds deep instead of Horner's 8 —
+	// this is the latency on the critical path of every fused Gaussian
+	// base-case iteration.
+	r2 := r * r
+	r4 := r2 * r2
+	p01 := 1.0 + r
+	p23 := 0.5 + r*(1.0/6)
+	p45 := 1.0/24 + r*(1.0/120)
+	p67 := 1.0/720 + r*(1.0/5040)
+	p := p01 + r2*p23 + r4*(p45+r2*p67) + (r4*r4)*(1.0/40320)
+	// Scale by 2^k. p is in [~0.707, ~1.415), so for k >= -1021 the
+	// product stays normal and multiplying by the exactly-representable
+	// power of two is error-free — identical to Ldexp but without the
+	// function call (math.Ldexp is not a compiler intrinsic, and this
+	// runs once per point pair in the fused Gaussian base cases).
+	// k <= 1023 always holds here because x <= 709.
+	if k >= -1021 {
+		return p * math.Float64frombits(uint64(int64(k)+1023)<<52)
+	}
+	// Subnormal result range: keep Ldexp's careful rounding.
 	return math.Ldexp(p, int(k))
 }
 
@@ -128,6 +148,22 @@ func ExpFast(x float64) float64 {
 // of Table III — using ExpFast.
 func GaussianKernel(d2, sigma float64) float64 {
 	return ExpFast(-d2 / (2 * sigma * sigma))
+}
+
+// GaussD2 is the fused Gaussian base-case body: exp(c·d²) with the
+// coefficient pre-folded at compile time (c = -1/(2σ²) for KDE), so
+// the fused loops evaluate kernel-from-squared-distance in one direct
+// call with no closure indirection.
+func GaussD2(c, d2 float64) float64 {
+	return ExpFast(c * d2)
+}
+
+// PlummerD2 is the fused Plummer base-case body over the softened
+// squared distance x = d² + ε²: x^{-3/2} computed as InvSqrt(x)³ —
+// the strength-reduced gravitational magnitude kernel.
+func PlummerD2(x float64) float64 {
+	inv := InvSqrt(x)
+	return inv * inv * inv
 }
 
 // Hypot2 accumulates a squared Euclidean distance with a 4-way

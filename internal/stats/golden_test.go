@@ -28,7 +28,8 @@ func goldenReport() *Report {
 		TotalPairs: 100000000,
 		Traversal: TraversalStats{
 			Visits: 5000, Prunes: 1200, Approxes: 800, BaseCases: 3000,
-			BaseCasePairs: 4000000, PrunedPairs: 56000000, ApproxPairs: 40000000,
+			FusedBaseCases: 3000,
+			BaseCasePairs:  4000000, PrunedPairs: 56000000, ApproxPairs: 40000000,
 			KernelEvals: 4000800, TasksSpawned: 24, InlineFallbacks: 3, MaxDepth: 9,
 		},
 		Build:  TreeBuildStats{Workers: 4, TasksSpawned: 6, InlineFallbacks: 1},

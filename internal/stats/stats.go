@@ -48,6 +48,12 @@ type TraversalStats struct {
 	Approxes int64 `json:"approxes"`
 	// BaseCases counts leaf-pair direct computations.
 	BaseCases int64 `json:"base_cases"`
+	// FusedBaseCases counts the subset of BaseCases executed by the
+	// backend's fused operator-specialized loops (see
+	// internal/codegen/basecase_fused.go) rather than the per-pair
+	// update path or the IR interpreter. Equal to BaseCases when every
+	// leaf pair took a fused loop; 0 under ForceInterp or NoFuse.
+	FusedBaseCases int64 `json:"fused_base_cases"`
 	// BaseCasePairs totals the point pairs enumerated by base cases —
 	// the work the prune/approximate conditions could not eliminate.
 	BaseCasePairs int64 `json:"base_case_pairs"`
@@ -75,6 +81,7 @@ func (s *TraversalStats) Add(o *TraversalStats) {
 	s.Prunes += o.Prunes
 	s.Approxes += o.Approxes
 	s.BaseCases += o.BaseCases
+	s.FusedBaseCases += o.FusedBaseCases
 	s.BaseCasePairs += o.BaseCasePairs
 	s.PrunedPairs += o.PrunedPairs
 	s.ApproxPairs += o.ApproxPairs
@@ -93,6 +100,7 @@ func (s *TraversalStats) MergeAtomic(dst *TraversalStats) {
 	atomic.AddInt64(&dst.Prunes, s.Prunes)
 	atomic.AddInt64(&dst.Approxes, s.Approxes)
 	atomic.AddInt64(&dst.BaseCases, s.BaseCases)
+	atomic.AddInt64(&dst.FusedBaseCases, s.FusedBaseCases)
 	atomic.AddInt64(&dst.BaseCasePairs, s.BaseCasePairs)
 	atomic.AddInt64(&dst.PrunedPairs, s.PrunedPairs)
 	atomic.AddInt64(&dst.ApproxPairs, s.ApproxPairs)
@@ -269,8 +277,8 @@ func (r *Report) String() string {
 		t.Decisions(), t.Visits, t.Prunes, t.Approxes, t.MaxDepth)
 	s += fmt.Sprintf("  pairs: total=%d base=%d pruned=%d approx=%d (%.2f%% eliminated)\n",
 		r.TotalPairs, t.BaseCasePairs, t.PrunedPairs, t.ApproxPairs, 100*r.PrunedFraction())
-	s += fmt.Sprintf("  kernel evals: %d  base cases: %d  tasks: %d (inline fallbacks: %d)",
-		t.KernelEvals, t.BaseCases, t.TasksSpawned, t.InlineFallbacks)
+	s += fmt.Sprintf("  kernel evals: %d  base cases: %d (fused: %d)  tasks: %d (inline fallbacks: %d)",
+		t.KernelEvals, t.BaseCases, t.FusedBaseCases, t.TasksSpawned, t.InlineFallbacks)
 	if b := r.Build; b.Workers > 0 {
 		s += fmt.Sprintf("\n  tree build: workers=%d tasks=%d (inline fallbacks: %d)",
 			b.Workers, b.TasksSpawned, b.InlineFallbacks)

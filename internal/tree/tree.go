@@ -556,8 +556,15 @@ func (b *builder) selectNth(lo, hi, nth, dim int, pl *pool) {
 
 // selectNthCols is the column-major quickselect: comparisons run over
 // the split dimension's column, swaps mirror into the (at most
-// ColMajorMaxDim-1) remaining columns and the index array.
+// ColMajorMaxDim-1) remaining columns and the index array. Explicitly
+// column-major storage above ColMajorMaxDim (the layout-ablation
+// configurations) takes the generic variant, which handles any number
+// of mirror columns.
 func (b *builder) selectNthCols(lo, hi, nth, dim int) {
+	if b.d > storage.ColMajorMaxDim {
+		b.selectNthColsGeneric(lo, hi, nth, dim)
+		return
+	}
 	key := b.col(dim)
 	id := b.idx
 	var o1, o2, o3 []float64
@@ -593,6 +600,50 @@ func (b *builder) selectNthCols(lo, hi, nth, dim int) {
 							o3[i], o3[j] = o3[j], o3[i]
 						}
 					}
+				}
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			hi = j + 1
+		case nth >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// selectNthColsGeneric mirrors swaps into a slice of the non-split
+// columns instead of unrolled locals; only explicit column-major
+// storage with d > ColMajorMaxDim reaches it, so the extra indirection
+// is off the default layouts' build path.
+func (b *builder) selectNthColsGeneric(lo, hi, nth, dim int) {
+	key := b.col(dim)
+	id := b.idx
+	others := make([][]float64, 0, b.d-1)
+	for j := 0; j < b.d; j++ {
+		if j != dim {
+			others = append(others, b.col(j))
+		}
+	}
+	for hi-lo > 1 {
+		pivot := median3(key[lo], key[lo+(hi-lo)/2], key[hi-1])
+		i, j := lo, hi-1
+		for i <= j {
+			for key[i] < pivot {
+				i++
+			}
+			for key[j] > pivot {
+				j--
+			}
+			if i <= j {
+				key[i], key[j] = key[j], key[i]
+				id[i], id[j] = id[j], id[i]
+				for _, o := range others {
+					o[i], o[j] = o[j], o[i]
 				}
 				i++
 				j--
