@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree bench-basecase bench-compare stats trace-smoke
+.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-compare stats trace-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
 check: build vet test race trace-smoke
@@ -35,18 +35,24 @@ bench-basecase:
 	$(GO) test -bench='BenchmarkKListInsert|BenchmarkBaseCase' -benchmem ./internal/codegen/ ./internal/bench/
 	$(GO) run ./cmd/portalbench -experiment basecase -scale 10000 -reps 3 -json BENCH_basecase.json
 
-# Regression gate: rerun the recorded BENCH_treebuild.json and
-# BENCH_basecase.json configurations and fail on >25% wall-time
-# regression in either.
+# Traversal-scheduler benchmark: work-stealing vs fixed spawn-depth
+# scheduling (and steal+batching) for knn/kde/2pc on uniform and
+# Plummer-clustered data, W in {1,2,4,8}; writes BENCH_traverse.json.
+bench-traverse:
+	$(GO) run ./cmd/portalbench -experiment traverse -scale 10000 -reps 3 -json BENCH_traverse.json
+
+# Regression gate: rerun the recorded BENCH_treebuild.json,
+# BENCH_basecase.json, and BENCH_traverse.json configurations and fail
+# on >25% wall-time regression in any.
 bench-compare:
-	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json -scale 10000 -reps 3
+	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json -scale 10000 -reps 3
 
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000
 
 # End-to-end tracing smoke test: run a 10k-point KDE with the tracer
 # attached, then validate the Chrome trace JSON against the stats
-# report (span count == TasksSpawned+1, depth profiles reconcile).
+# report (span count == tasks_executed, depth profiles reconcile).
 trace-smoke:
 	@mkdir -p /tmp/portal-trace-smoke
 	$(GO) run ./cmd/portalgen -dataset IHEPC -n 10000 -seed 1 -o /tmp/portal-trace-smoke/ihepc.csv

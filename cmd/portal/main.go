@@ -17,6 +17,13 @@
 // base-case pairs, kernel evaluations, phase timings) to stderr, or
 // -stats-json FILE to capture them as JSON.
 //
+// Parallel runtime: -schedule picks the traversal scheduler (steal,
+// the work-stealing default, or spawn, the fixed spawn-depth legacy);
+// -batch defers leaf base cases and sweeps them per reference leaf
+// through the fused kernels (steal scheduler, batchable operators
+// only — operators whose prune bounds need immediate base-case
+// feedback, like k-NN, silently run unbatched).
+//
 // Profiling: -trace FILE records an execution trace (build, traversal,
 // and finalize spans plus per-depth decision profiles) and writes it
 // as Chrome trace-event JSON loadable in Perfetto or chrome://tracing;
@@ -37,6 +44,7 @@ import (
 	"portal/internal/stats"
 	"portal/internal/storage"
 	"portal/internal/trace"
+	"portal/internal/traverse"
 	"portal/nbody"
 )
 
@@ -56,6 +64,8 @@ func main() {
 	leaf := flag.Int("leaf", 32, "tree leaf size q")
 	seq := flag.Bool("seq", false, "disable parallel execution")
 	workers := flag.Int("workers", 0, "cap worker goroutines for tree build and traversal (0 = GOMAXPROCS)")
+	schedule := flag.String("schedule", "steal", "parallel traversal scheduler: steal (work-stealing deques) or spawn (fixed spawn depth)")
+	batch := flag.Bool("batch", false, "defer and batch leaf base cases by reference leaf (steal scheduler, batchable operators only)")
 	statsFlag := flag.Bool("stats", false, "print traversal statistics to stderr after the run")
 	statsJSON := flag.String("stats-json", "", "write traversal statistics as JSON to this file ('-' for stderr)")
 	traceOut := flag.String("trace", "", "write an execution trace (Chrome trace-event JSON) to this file")
@@ -74,7 +84,13 @@ func main() {
 		ref, err = storage.FromCSV(*refPath)
 		fatal(err)
 	}
-	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Workers: *workers, Tau: *tau}
+	sched, ok := traverse.ParseSchedule(*schedule)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "portal: unknown -schedule %q (want steal or spawn)\n", *schedule)
+		os.Exit(2)
+	}
+	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Workers: *workers, Tau: *tau,
+		Schedule: sched, BatchBaseCases: *batch}
 	var sink *stats.Report
 	if *statsFlag || *statsJSON != "" {
 		sink = &stats.Report{}
@@ -168,7 +184,7 @@ func main() {
 	case "bh":
 		acc, err := nbody.BarnesHut(query, nil, problems.BHConfig{
 			Theta: *theta, Eps: *eps, LeafSize: *leaf,
-			Parallel: !*seq, Workers: *workers,
+			Parallel: !*seq, Workers: *workers, Schedule: sched,
 			Stats: sink, Trace: cfg.Trace,
 		})
 		fatal(err)

@@ -10,10 +10,12 @@
 //	portalbench -stats [-scale N]           # traversal statistics (JSON on stdout)
 //	portalbench -experiment all [-scale N] [-seq] [-reps R]
 //	portalbench -experiment basecase        # fused vs legacy base-case loops
-//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json
+//	portalbench -experiment traverse        # steal vs spawn scheduler sweep
+//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json
 //	    # regression gate: rerun each named baseline (dispatched by file
-//	    # name: "basecase" files gate fused traversal time, everything
-//	    # else the tree build) and exit 1 on any >25% regression
+//	    # name: "basecase" files gate fused traversal time, "traverse"
+//	    # files the steal-scheduler traversal, everything else the tree
+//	    # build) and exit 1 on any >25% regression
 //
 // -workers caps worker goroutines in every experiment's tree build and
 // traversal. -json FILE writes the machine-readable form of any
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, stats, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
@@ -50,7 +52,7 @@ func main() {
 	statsFlag := flag.Bool("stats", false,
 		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable JSON to this file (any experiment)")
-	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json and/or BENCH_basecase.json); exits non-zero on >25% regression")
+	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json, BENCH_basecase.json, and/or BENCH_traverse.json); exits non-zero on >25% regression")
 	traceOut := flag.String("trace", "", "write an execution trace of the Portal-side runs (Chrome trace-event JSON) to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	flag.Parse()
@@ -107,6 +109,16 @@ func main() {
 		regressed, total := 0, 0
 		jsonRegs := map[string]any{}
 		for _, path := range strings.Split(*compare, ",") {
+			if strings.Contains(filepath.Base(path), "traverse") {
+				baseline, err := bench.LoadTraverseBaseline(path)
+				fail(err)
+				fmt.Printf("== Traversal-scheduler regression gate vs %s (tolerance 25%%) ==\n", path)
+				regs := bench.CompareTraverse(o, baseline, 0.25, os.Stdout)
+				jsonRegs["traverse"] = regs
+				regressed += len(regs)
+				total += len(baseline)
+				continue
+			}
 			if strings.Contains(filepath.Base(path), "basecase") {
 				baseline, err := bench.LoadBaseCaseBaseline(path)
 				fail(err)
@@ -186,6 +198,9 @@ func main() {
 	case "basecase":
 		fmt.Println("== Base-case kernels (fused vs legacy loops, leaf=256) ==")
 		jsonOut = bench.BaseCase(o, os.Stdout)
+	case "traverse":
+		fmt.Println("== Traversal schedulers (spawn vs steal vs steal+batch) ==")
+		jsonOut = bench.Traverse(o, os.Stdout)
 	case "treebuild":
 		fmt.Println("== Tree construction (serial vs parallel arena build) ==")
 		results := bench.TreeBuild(o, *workers, os.Stdout)

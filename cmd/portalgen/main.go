@@ -5,6 +5,11 @@
 //
 //	portalgen -list
 //	portalgen -dataset HIGGS -n 50000 -seed 1 -o higgs.csv
+//	portalgen -dataset Plummer -n 10000 -o plummer.csv
+//
+// Besides the Table II names, the auxiliary "Plummer" dataset
+// generates a 3-d Plummer sphere — the clustered N-body initial
+// condition used by the traversal-scheduler benchmarks.
 package main
 
 import (
@@ -13,11 +18,12 @@ import (
 	"os"
 
 	"portal/internal/dataset"
+	"portal/internal/storage"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list Table II datasets")
-	name := flag.String("dataset", "", "dataset to generate (see -list)")
+	name := flag.String("dataset", "", "dataset to generate (see -list; also: Plummer)")
 	n := flag.Int("n", 20000, "number of points")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output CSV path (default stdout)")
@@ -31,10 +37,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "portalgen: -dataset required (or -list)")
 		os.Exit(1)
 	}
-	s, err := dataset.Generate(*name, *n, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "portalgen:", err)
-		os.Exit(1)
+	var s *storage.Storage
+	if *name == "Plummer" {
+		s = dataset.GeneratePlummer(*n, *seed)
+	} else {
+		var err error
+		s, err = dataset.Generate(*name, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "portalgen:", err)
+			os.Exit(1)
+		}
 	}
 	if *out == "" {
 		if err := s.WriteCSV(os.Stdout); err != nil {

@@ -44,6 +44,31 @@ func (r *Run) BaseCase(qn, rn *tree.Node) {
 	}
 }
 
+// Batchable reports whether the traversal may defer this Run's base
+// cases into reference-leaf interaction buffers (traverse's
+// BatchableRule capability). Deferral is safe only when no query-node
+// bound consumes per-base-case feedback (bound-based operators like
+// KNN prune off results as they land) and a fused loop exists to make
+// the batched sweep worthwhile; the interpreter path keeps discovery
+// order for oracle comparability.
+func (r *Run) Batchable() bool {
+	return r.NodeBound == nil && r.fused != nil && !r.Ex.Opts.ForceInterp
+}
+
+// BaseCaseBatch sweeps one reference leaf against every buffered query
+// leaf back-to-back through the fused loop — the reference tile stays
+// hot across the whole sweep instead of being re-streamed once per
+// query leaf. Only reachable when Batchable() returned true, so the
+// dispatch mirrors exactly the fused arm of BaseCase.
+func (r *Run) BaseCaseBatch(qns []*tree.Node, rn *tree.Node) {
+	rc := int64(rn.Count())
+	for _, qn := range qns {
+		r.kernelEvals += int64(qn.Count()) * rc
+		r.fusedBaseCases++
+		r.fused(r, qn, rn)
+	}
+}
+
 // euclidBaseCase handles Euclidean-family metrics with the
 // layout-specialized distance loops.
 func (r *Run) euclidBaseCase(qn, rn *tree.Node) {

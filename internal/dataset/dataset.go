@@ -229,6 +229,37 @@ func GenerateElliptical(n int, seed int64) *storage.Storage {
 	return s
 }
 
+// GeneratePlummer produces n particles of a 3-dimensional Plummer
+// sphere (scale radius a = 1): the standard clustered N-body initial
+// condition, with density ∝ (1 + r²/a²)^{-5/2}. The central
+// concentration makes tree traversals heavily skewed — most of the
+// pair work lands in a few dense subtrees — which is the regime where
+// dynamic (work-stealing) scheduling beats a fixed spawn-depth
+// partition (an auxiliary dataset, not part of Table II).
+func GeneratePlummer(n int, seed int64) *storage.Storage {
+	rng := rand.New(rand.NewSource(seed*6151 + 17))
+	s := storage.New(n, 3)
+	p := make([]float64, 3)
+	for i := 0; i < n; i++ {
+		// Invert the cumulative mass profile M(r) = r³/(1+r²)^{3/2}:
+		// with u uniform in (0,1), r = (u^{-2/3} − 1)^{-1/2}.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		r := 1 / math.Sqrt(math.Pow(u, -2.0/3.0)-1)
+		// Uniform direction on the sphere.
+		z := 2*rng.Float64() - 1
+		phi := 2 * math.Pi * rng.Float64()
+		sin := math.Sqrt(1 - z*z)
+		p[0] = r * sin * math.Cos(phi)
+		p[1] = r * sin * math.Sin(phi)
+		p[2] = r * z
+		s.SetPoint(i, p)
+	}
+	return s
+}
+
 // GenerateBlobs produces k well-separated Gaussian blobs in d
 // dimensions with their class labels — the separable-class regime in
 // which NBC's per-subtree class pruning pays off (an auxiliary

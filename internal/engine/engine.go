@@ -50,6 +50,14 @@ type Config struct {
 	Parallel bool
 	// Workers caps traversal parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Schedule selects the parallel traversal scheduler; the zero
+	// value is the work-stealing runtime (traverse.ScheduleSteal),
+	// traverse.ScheduleSpawn the legacy fixed spawn-depth scheduler.
+	Schedule traverse.Schedule
+	// BatchBaseCases defers leaf base cases into per-worker
+	// reference-leaf interaction buffers (work-stealing scheduler,
+	// Workers >= 2, batchable operators only; see traverse.Options).
+	BatchBaseCases bool
 	// Codegen tunes the backend; zero value means DefaultOptions.
 	Codegen codegen.Options
 	// Weights optionally assigns reference point masses (Barnes-Hut).
@@ -185,7 +193,13 @@ func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duratio
 	st := run.TraversalStats()
 	start := time.Now()
 	if cfg.Parallel {
-		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: cfg.Workers, Stats: st, Trace: cfg.Trace})
+		traverse.RunParallel(qt, rt, run, traverse.Options{
+			Workers:        cfg.Workers,
+			Schedule:       cfg.Schedule,
+			BatchBaseCases: cfg.BatchBaseCases,
+			Stats:          st,
+			Trace:          cfg.Trace,
+		})
 	} else {
 		// Workers:1 takes the sequential path inside RunParallel while
 		// still recording the walk as one root span when tracing is on.

@@ -11,6 +11,7 @@ import (
 	"portal/internal/geom"
 	"portal/internal/lang"
 	"portal/internal/storage"
+	"portal/internal/traverse"
 )
 
 // Sequential-vs-parallel equivalence across every operator family.
@@ -133,6 +134,15 @@ func outputsEquivalent(t *testing.T, name string, spec *lang.PortalExpr, par, se
 }
 
 func TestSequentialParallelEquivalenceAllOperators(t *testing.T) {
+	variants := []struct {
+		name     string
+		schedule traverse.Schedule
+		batch    bool
+	}{
+		{name: "steal", schedule: traverse.ScheduleSteal},
+		{name: "steal-batch", schedule: traverse.ScheduleSteal, batch: true},
+		{name: "spawn", schedule: traverse.ScheduleSpawn},
+	}
 	for i, tc := range seqParCases() {
 		tc := tc
 		seed := int64(100 + i)
@@ -144,14 +154,18 @@ func TestSequentialParallelEquivalenceAllOperators(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pcfg := cfg
-			pcfg.Parallel = true
-			pcfg.Workers = 4
-			par, err := Run(tc.name, spec, pcfg)
-			if err != nil {
-				t.Fatal(err)
+			for _, v := range variants {
+				pcfg := cfg
+				pcfg.Parallel = true
+				pcfg.Workers = 4
+				pcfg.Schedule = v.schedule
+				pcfg.BatchBaseCases = v.batch
+				par, err := Run(tc.name+"/"+v.name, spec, pcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				outputsEquivalent(t, tc.name+"/"+v.name, spec, par, seq)
 			}
-			outputsEquivalent(t, tc.name, spec, par, seq)
 		})
 	}
 }

@@ -35,11 +35,12 @@ func TestEngineTraceEndToEnd(t *testing.T) {
 	}
 	p := rep.Trace
 
-	// Traversal spans: the root walk plus every spawned task. Build
-	// spans: one root per tree plus every spawned subtree. One
-	// finalize span.
-	if want := int(rep.Traversal.TasksSpawned) + 1; p.TraverseSpans != want {
-		t.Errorf("TraverseSpans = %d, want TasksSpawned+1 = %d", p.TraverseSpans, want)
+	// Traversal spans: one per top-level task execution (the root
+	// walk plus spawned goroutines or main-loop steals). Build spans:
+	// one root per tree plus every spawned subtree. One finalize
+	// span.
+	if want := int(rep.Traversal.TasksExecuted); p.TraverseSpans != want {
+		t.Errorf("TraverseSpans = %d, want TasksExecuted = %d", p.TraverseSpans, want)
 	}
 	if want := int(rep.Build.TasksSpawned) + 2; p.BuildSpans != want {
 		t.Errorf("BuildSpans = %d, want Build.TasksSpawned+2 (two trees) = %d", p.BuildSpans, want)

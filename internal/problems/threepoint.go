@@ -35,7 +35,12 @@ func ThreePointCorrelation(data *storage.Storage, radius float64, cfg Config) (f
 		st = &stats.TraversalStats{}
 	}
 	start = time.Now()
-	traverse.RunMultiStats([]*tree.Tree{t, t, t}, rule, st)
+	if cfg.Parallel {
+		traverse.RunMultiParallel([]*tree.Tree{t, t, t}, rule,
+			traverse.MultiOptions{Workers: cfg.Workers, Stats: st})
+	} else {
+		traverse.RunMultiStats([]*tree.Tree{t, t, t}, rule, st)
+	}
 	if cfg.StatsSink != nil {
 		n := int64(data.Len())
 		cfg.StatsSink.Merge(&stats.Report{
@@ -82,6 +87,18 @@ type threePointRule struct {
 	t     *tree.Tree
 	r2    float64
 	count int64
+}
+
+// Fork returns a task-private accumulator sharing the read-only tree
+// and threshold; Join folds a completed fork's count back (serialized
+// by the traversal). Counting is order-independent, so parallel totals
+// are bit-exact against the sequential walk.
+func (r *threePointRule) Fork() traverse.MultiRule {
+	return &threePointRule{t: r.t, r2: r.r2}
+}
+
+func (r *threePointRule) Join(child traverse.MultiRule) {
+	r.count += child.(*threePointRule).count
 }
 
 // PruneApprox lifts the window rule to node triples.

@@ -30,13 +30,19 @@ func goldenReport() *Report {
 			Visits: 5000, Prunes: 1200, Approxes: 800, BaseCases: 3000,
 			FusedBaseCases: 3000,
 			BaseCasePairs:  4000000, PrunedPairs: 56000000, ApproxPairs: 40000000,
-			KernelEvals: 4000800, TasksSpawned: 24, InlineFallbacks: 3, MaxDepth: 9,
+			KernelEvals: 4000800, TasksSpawned: 24, TasksExecuted: 25, TasksStolen: 9,
+			InlineFallbacks: 3, DequeHighWater: 5,
+			BatchFlushes: 40, BatchedBaseCases: 2800, MaxDepth: 9,
 		},
 		Build:  TreeBuildStats{Workers: 4, TasksSpawned: 6, InlineFallbacks: 1},
 		Phases: Phases{TreeBuild: 12 * time.Millisecond, Traversal: 80 * time.Millisecond, Finalize: time.Millisecond},
 		Trace: &trace.Profile{
 			WallNS: 93000000, Spans: 33, TraverseSpans: 25, BuildSpans: 7,
-			MaxWorkers: 4, Utilization: 0.85,
+			StolenSpans: 9, MaxWorkers: 4, Utilization: 0.85,
+			BatchSizes: trace.Histogram{
+				Buckets: []trace.HistBucket{{UpToNS: 32, Count: 40}},
+				MinNS:   12, MaxNS: 32, MeanNS: 28,
+			},
 			Workers: []trace.WorkerProfile{
 				{Worker: 0, Spans: 17, BusyNS: 90000000, Utilization: 0.97},
 				{Worker: 1, Spans: 16, BusyNS: 75000000, Utilization: 0.81},
@@ -54,7 +60,7 @@ func goldenReport() *Report {
 	}
 }
 
-// TestReportGoldenJSON pins the schema_version=1 JSON wire format.
+// TestReportGoldenJSON pins the schema_version=2 JSON wire format.
 func TestReportGoldenJSON(t *testing.T) {
 	b, err := goldenReport().JSON()
 	if err != nil {
@@ -62,7 +68,7 @@ func TestReportGoldenJSON(t *testing.T) {
 	}
 	b = append(b, '\n')
 
-	golden := filepath.Join("testdata", "report_v1.golden.json")
+	golden := filepath.Join("testdata", "report_v2.golden.json")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

@@ -32,7 +32,13 @@ import (
 // (schema_version). It is the stability contract for downstream
 // consumers of -stats / -stats-json / -trace output: additive fields
 // keep the version; renames, removals, or semantic changes bump it.
-const ReportSchemaVersion = 1
+//
+// Version 2: the work-stealing traversal runtime added the scheduler
+// counters (tasks_executed, tasks_stolen, deque_high_water) and the
+// interaction-batching counters (batch_flushes, batched_base_cases),
+// and changed the traverse-span invariant from tasks_spawned+rounds to
+// tasks_executed (see internal/trace).
+const ReportSchemaVersion = 2
 
 // TraversalStats counts traversal events. Within one task the fields
 // are plain (single-writer); cross-task aggregation goes through
@@ -65,12 +71,39 @@ type TraversalStats struct {
 	// backend's base cases plus one centroid evaluation per
 	// approximation).
 	KernelEvals int64 `json:"kernel_evals"`
-	// TasksSpawned counts tasks forked by the parallel traversal.
+	// TasksSpawned counts tasks forked by the parallel traversal: deque
+	// pushes under the work-stealing scheduler, goroutine spawns under
+	// the legacy spawn-depth scheduler.
 	TasksSpawned int64 `json:"tasks_spawned"`
+	// TasksExecuted counts top-level task executions — the dispatches
+	// that open a trace span: each round's root walk plus, under
+	// stealing, every task picked up by an idle worker's main loop, or,
+	// under the spawn scheduler, every spawned goroutine. Traverse
+	// spans == TasksExecuted is the recorder invariant checked by
+	// tracecheck. Tasks a worker runs while helping inside a join wait
+	// fold into the enclosing execution and are not counted here.
+	TasksExecuted int64 `json:"tasks_executed"`
+	// TasksStolen counts tasks taken from another worker's deque
+	// (work-stealing scheduler only; includes steals performed while
+	// helping inside a join wait).
+	TasksStolen int64 `json:"tasks_stolen"`
 	// InlineFallbacks counts spawn points that found the workers
-	// saturated and ran the child inline instead (the paper's switch
-	// from task creation to straight-line execution).
+	// saturated (spawn scheduler) or the deque full (steal scheduler)
+	// and ran the child inline instead (the paper's switch from task
+	// creation to straight-line execution).
 	InlineFallbacks int64 `json:"inline_fallbacks"`
+	// DequeHighWater is the peak occupancy observed on any single
+	// worker's task deque (work-stealing scheduler only; merged by
+	// maximum, like MaxDepth).
+	DequeHighWater int64 `json:"deque_high_water"`
+	// BatchFlushes counts reference-leaf interaction-buffer sweeps by
+	// the batched base-case path (zero unless BatchBaseCases is on and
+	// the rule is batchable).
+	BatchFlushes int64 `json:"batch_flushes"`
+	// BatchedBaseCases counts the subset of BaseCases that were
+	// deferred into an interaction buffer and executed by a batch
+	// flush rather than at discovery.
+	BatchedBaseCases int64 `json:"batched_base_cases"`
 	// MaxDepth is the deepest recursion level reached (root = 0).
 	MaxDepth int64 `json:"max_depth"`
 }
@@ -87,7 +120,14 @@ func (s *TraversalStats) Add(o *TraversalStats) {
 	s.ApproxPairs += o.ApproxPairs
 	s.KernelEvals += o.KernelEvals
 	s.TasksSpawned += o.TasksSpawned
+	s.TasksExecuted += o.TasksExecuted
+	s.TasksStolen += o.TasksStolen
 	s.InlineFallbacks += o.InlineFallbacks
+	if o.DequeHighWater > s.DequeHighWater {
+		s.DequeHighWater = o.DequeHighWater
+	}
+	s.BatchFlushes += o.BatchFlushes
+	s.BatchedBaseCases += o.BatchedBaseCases
 	if o.MaxDepth > s.MaxDepth {
 		s.MaxDepth = o.MaxDepth
 	}
@@ -106,10 +146,20 @@ func (s *TraversalStats) MergeAtomic(dst *TraversalStats) {
 	atomic.AddInt64(&dst.ApproxPairs, s.ApproxPairs)
 	atomic.AddInt64(&dst.KernelEvals, s.KernelEvals)
 	atomic.AddInt64(&dst.TasksSpawned, s.TasksSpawned)
+	atomic.AddInt64(&dst.TasksExecuted, s.TasksExecuted)
+	atomic.AddInt64(&dst.TasksStolen, s.TasksStolen)
 	atomic.AddInt64(&dst.InlineFallbacks, s.InlineFallbacks)
+	atomic.AddInt64(&dst.BatchFlushes, s.BatchFlushes)
+	atomic.AddInt64(&dst.BatchedBaseCases, s.BatchedBaseCases)
+	atomicMaxInt64(&dst.DequeHighWater, s.DequeHighWater)
+	atomicMaxInt64(&dst.MaxDepth, s.MaxDepth)
+}
+
+// atomicMaxInt64 raises *dst to v if v is larger (CAS loop).
+func atomicMaxInt64(dst *int64, v int64) {
 	for {
-		cur := atomic.LoadInt64(&dst.MaxDepth)
-		if s.MaxDepth <= cur || atomic.CompareAndSwapInt64(&dst.MaxDepth, cur, s.MaxDepth) {
+		cur := atomic.LoadInt64(dst)
+		if v <= cur || atomic.CompareAndSwapInt64(dst, cur, v) {
 			return
 		}
 	}
@@ -277,8 +327,11 @@ func (r *Report) String() string {
 		t.Decisions(), t.Visits, t.Prunes, t.Approxes, t.MaxDepth)
 	s += fmt.Sprintf("  pairs: total=%d base=%d pruned=%d approx=%d (%.2f%% eliminated)\n",
 		r.TotalPairs, t.BaseCasePairs, t.PrunedPairs, t.ApproxPairs, 100*r.PrunedFraction())
-	s += fmt.Sprintf("  kernel evals: %d  base cases: %d (fused: %d)  tasks: %d (inline fallbacks: %d)",
-		t.KernelEvals, t.BaseCases, t.FusedBaseCases, t.TasksSpawned, t.InlineFallbacks)
+	s += fmt.Sprintf("  kernel evals: %d  base cases: %d (fused: %d)  tasks: spawned=%d executed=%d stolen=%d (inline fallbacks: %d, deque hw: %d)",
+		t.KernelEvals, t.BaseCases, t.FusedBaseCases, t.TasksSpawned, t.TasksExecuted, t.TasksStolen, t.InlineFallbacks, t.DequeHighWater)
+	if t.BatchFlushes > 0 || t.BatchedBaseCases > 0 {
+		s += fmt.Sprintf("\n  batching: flushes=%d batched base cases=%d", t.BatchFlushes, t.BatchedBaseCases)
+	}
 	if b := r.Build; b.Workers > 0 {
 		s += fmt.Sprintf("\n  tree build: workers=%d tasks=%d (inline fallbacks: %d)",
 			b.Workers, b.TasksSpawned, b.InlineFallbacks)

@@ -87,7 +87,9 @@ func TestReportJSONSchema(t *testing.T) {
 		`"problem"`, `"workers"`, `"parallel"`, `"query_n"`, `"ref_n"`,
 		`"total_pairs"`, `"traversal"`, `"prunes"`, `"approxes"`, `"visits"`,
 		`"base_cases"`, `"base_case_pairs"`, `"pruned_pairs"`, `"approx_pairs"`,
-		`"kernel_evals"`, `"tasks_spawned"`, `"inline_fallbacks"`, `"max_depth"`,
+		`"kernel_evals"`, `"tasks_spawned"`, `"tasks_executed"`, `"tasks_stolen"`,
+		`"inline_fallbacks"`, `"deque_high_water"`, `"batch_flushes"`,
+		`"batched_base_cases"`, `"max_depth"`,
 		`"phases"`, `"tree_build_ns"`, `"traversal_ns"`, `"finalize_ns"`,
 	} {
 		if !strings.Contains(string(b), key) {
@@ -107,9 +109,11 @@ func TestReportString(t *testing.T) {
 	r := &Report{Problem: "knn", Parallel: true, Workers: 8, QueryN: 10000,
 		RefN: 10000, Rounds: 1, TotalPairs: 100000000,
 		Traversal: TraversalStats{BaseCasePairs: 1000000, PrunedPairs: 99000000,
-			Prunes: 500, Visits: 900, KernelEvals: 1000000, TasksSpawned: 64}}
+			Prunes: 500, Visits: 900, KernelEvals: 1000000,
+			TasksSpawned: 64, TasksExecuted: 65, TasksStolen: 12}}
 	s := r.String()
-	for _, want := range []string{"knn", "parallel w=8", "99.00% eliminated", "tasks: 64"} {
+	for _, want := range []string{"knn", "parallel w=8", "99.00% eliminated",
+		"spawned=64", "executed=65", "stolen=12"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q in:\n%s", want, s)
 		}

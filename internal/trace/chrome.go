@@ -46,6 +46,18 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		})
 	}
 	for _, sp := range spans {
+		args := map[string]any{
+			"spawn_depth": sp.SpawnDepth,
+			"decisions":   sp.Decisions,
+			"items":       sp.Items,
+		}
+		if sp.Stolen {
+			args["stolen"] = true
+		}
+		if sp.Batches > 0 {
+			args["batches"] = sp.Batches
+			args["batched_leaves"] = sp.BatchedLeaves
+		}
 		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
 			Name:  sp.Phase.String(),
 			Phase: "X",
@@ -53,11 +65,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			Dur:   float64(sp.DurNS) / 1e3,
 			PID:   1,
 			TID:   sp.Worker,
-			Args: map[string]any{
-				"spawn_depth": sp.SpawnDepth,
-				"decisions":   sp.Decisions,
-				"items":       sp.Items,
-			},
+			Args:  args,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -84,10 +84,17 @@ type Profile struct {
 	WallNS int64 `json:"wall_ns"`
 	// Spans is the total completed span count across all phases;
 	// TraverseSpans and BuildSpans break out the two task-parallel
-	// phases (TraverseSpans == traversal TasksSpawned + root walks).
+	// phases. TraverseSpans == the traversal's TasksExecuted counter
+	// (each round's root walk plus every top-level task a worker
+	// dispatched — spawned goroutines under the spawn scheduler,
+	// main-loop steals under the work-stealing scheduler; tasks run
+	// while helping inside a join fold into the enclosing span).
 	Spans         int `json:"spans"`
 	TraverseSpans int `json:"traverse_spans"`
 	BuildSpans    int `json:"build_spans"`
+	// StolenSpans is the number of traverse spans whose task was taken
+	// from another worker's deque (work-stealing scheduler only).
+	StolenSpans int `json:"stolen_spans"`
 	// MaxWorkers is the peak number of concurrently open tasks.
 	MaxWorkers int `json:"max_workers"`
 	// Utilization is total busy time / (WallNS * MaxWorkers).
@@ -96,6 +103,10 @@ type Profile struct {
 	Workers []WorkerProfile `json:"workers,omitempty"`
 	// TaskDurations is a power-of-two histogram over span durations.
 	TaskDurations Histogram `json:"task_durations"`
+	// BatchSizes is a power-of-two histogram over the query-leaf count
+	// of each interaction-buffer flush (empty unless base-case
+	// batching ran).
+	BatchSizes Histogram `json:"batch_sizes,omitempty"`
 	// Depths[d] aggregates traversal decisions made at recursion
 	// depth d across all tasks; summing over d reproduces the
 	// TraversalStats aggregates, and len(Depths)-1 == MaxDepth.
@@ -122,11 +133,15 @@ func (c *Collector) Profile() *Profile {
 		switch sp.Phase {
 		case PhaseTraverse:
 			p.TraverseSpans++
+			if sp.Stolen {
+				p.StolenSpans++
+			}
 		case PhaseBuild:
 			p.BuildSpans++
 		}
 	}
 	p.TaskDurations = durationHist(durs)
+	p.BatchSizes = durationHist(c.batches)
 	for lane, busy := range c.busy {
 		wp := WorkerProfile{Worker: lane, BusyNS: busy}
 		if p.WallNS > 0 {
@@ -147,12 +162,16 @@ func (c *Collector) Profile() *Profile {
 // -stats flag.
 func (p *Profile) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace: spans=%d (traverse=%d build=%d) wall=%v workers=%d utilization=%.1f%%\n",
-		p.Spans, p.TraverseSpans, p.BuildSpans,
+	fmt.Fprintf(&b, "trace: spans=%d (traverse=%d stolen=%d build=%d) wall=%v workers=%d utilization=%.1f%%\n",
+		p.Spans, p.TraverseSpans, p.StolenSpans, p.BuildSpans,
 		time.Duration(p.WallNS).Round(time.Microsecond), p.MaxWorkers, 100*p.Utilization)
 	fmt.Fprintf(&b, "  task duration: min=%v mean=%v max=%v\n",
 		time.Duration(p.TaskDurations.MinNS), time.Duration(p.TaskDurations.MeanNS),
 		time.Duration(p.TaskDurations.MaxNS))
+	if len(p.BatchSizes.Buckets) > 0 {
+		fmt.Fprintf(&b, "  batch size (query leaves/flush): min=%d mean=%d max=%d\n",
+			p.BatchSizes.MinNS, p.BatchSizes.MeanNS, p.BatchSizes.MaxNS)
+	}
 	for _, w := range p.Workers {
 		fmt.Fprintf(&b, "  worker %d: spans=%d busy=%v (%.1f%%)\n",
 			w.Worker, w.Spans, time.Duration(w.BusyNS).Round(time.Microsecond), 100*w.Utilization)

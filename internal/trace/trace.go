@@ -112,6 +112,14 @@ type Span struct {
 	// Items is the task's payload: point pairs accounted for by a
 	// traversal task, points in the subtree for a build task.
 	Items int64 `json:"items"`
+	// Stolen marks a traversal task executed by a worker that took it
+	// from another worker's deque (work-stealing scheduler only).
+	Stolen bool `json:"stolen,omitempty"`
+	// Batches counts the interaction-buffer flushes this task
+	// performed; BatchedLeaves totals the query leaves those flushes
+	// swept (base-case batching only).
+	Batches       int   `json:"batches,omitempty"`
+	BatchedLeaves int64 `json:"batched_leaves,omitempty"`
 }
 
 // Task is the per-task recording buffer. It is owned by exactly one
@@ -124,6 +132,8 @@ type Task struct {
 	spawnDepth int
 	start      time.Time
 	items      int64
+	stolen     bool
+	batches    []int64 // query-leaf count per interaction-buffer flush
 	depths     []DepthCounters
 }
 
@@ -169,6 +179,14 @@ func (t *Task) BaseCase(depth int, pairs int64) {
 // (build tasks record their subtree's point count).
 func (t *Task) SetItems(n int64) { t.items = n }
 
+// MarkStolen flags the task as executed via a steal (the work-stealing
+// scheduler marks top-level tasks taken from a victim's deque).
+func (t *Task) MarkStolen() { t.stolen = true }
+
+// Batch records one interaction-buffer flush that swept n buffered
+// query leaves against a reference leaf.
+func (t *Task) Batch(n int) { t.batches = append(t.batches, int64(n)) }
+
 // Recorder receives execution events. TaskBegin/TaskEnd bracket one
 // task's lifetime; the returned *Task is the task's private buffer
 // (see the package comment for the ownership model). Profile returns
@@ -197,9 +215,10 @@ type Collector struct {
 	mu     sync.Mutex
 	lanes  []bool // lane occupancy; index = worker id
 	laneHW int    // high-water lane count == peak task concurrency
-	spans  []Span
-	depths []DepthCounters
-	busy   []int64 // accumulated span duration per lane, ns
+	spans   []Span
+	depths  []DepthCounters
+	busy    []int64 // accumulated span duration per lane, ns
+	batches []int64 // query-leaf count per interaction-buffer flush
 }
 
 var _ Recorder = (*Collector)(nil)
@@ -244,17 +263,25 @@ func (c *Collector) TaskEnd(t *Task) {
 	if items == 0 {
 		items = pairs
 	}
+	var batchedLeaves int64
+	for _, n := range t.batches {
+		batchedLeaves += n
+	}
 	sp := Span{
-		Phase:      t.phase,
-		Worker:     t.worker,
-		StartNS:    t.start.Sub(c.epoch).Nanoseconds(),
-		DurNS:      end.Sub(t.start).Nanoseconds(),
-		SpawnDepth: t.spawnDepth,
-		Decisions:  decisions,
-		Items:      items,
+		Phase:         t.phase,
+		Worker:        t.worker,
+		StartNS:       t.start.Sub(c.epoch).Nanoseconds(),
+		DurNS:         end.Sub(t.start).Nanoseconds(),
+		SpawnDepth:    t.spawnDepth,
+		Decisions:     decisions,
+		Items:         items,
+		Stolen:        t.stolen,
+		Batches:       len(t.batches),
+		BatchedLeaves: batchedLeaves,
 	}
 	c.mu.Lock()
 	c.spans = append(c.spans, sp)
+	c.batches = append(c.batches, t.batches...)
 	for len(c.depths) < len(t.depths) {
 		c.depths = append(c.depths, DepthCounters{})
 	}

@@ -8,10 +8,11 @@
 // Structural checks (always): the file parses, every event is a
 // metadata or complete event with sane timestamps, and at least one
 // span exists. With -stats: the traverse span count must equal
-// tasks_spawned + rounds (each round's root walk is one span), the
-// per-depth decision totals must sum exactly to the TraversalStats
-// aggregates, and the depth-profile height must match max_depth.
-// Exits non-zero on any violation.
+// tasks_executed (each top-level task dispatch — root walks, spawned
+// goroutines, main-loop steals — is exactly one span, accumulated
+// across rounds), the per-depth decision totals must sum exactly to
+// the TraversalStats aggregates, and the depth-profile height must
+// match max_depth. Exits non-zero on any violation.
 package main
 
 import (
@@ -51,16 +52,12 @@ func main() {
 	}
 	t := &rep.Traversal
 
-	// Every spawned traversal task is one span, plus each round's root
-	// walk (one-shot problems: TasksSpawned + 1).
-	rounds := rep.Rounds
-	if rounds == 0 {
-		rounds = 1
-	}
-	wantTraverse := int(t.TasksSpawned) + rounds
-	if counts["traverse"] != wantTraverse {
-		fatalf("traverse spans = %d, want tasks_spawned + rounds = %d + %d = %d",
-			counts["traverse"], t.TasksSpawned, rounds, wantTraverse)
+	// Every top-level task dispatch is one span; tasks_executed
+	// already accumulates each round's root walk, so no rounds
+	// adjustment is needed.
+	if wantTraverse := int(t.TasksExecuted); counts["traverse"] != wantTraverse {
+		fatalf("traverse spans = %d, want tasks_executed = %d",
+			counts["traverse"], wantTraverse)
 	}
 
 	if rep.Trace == nil {

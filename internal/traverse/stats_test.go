@@ -58,10 +58,18 @@ func TestParallelPeakConcurrencyAtMostWorkers(t *testing.T) {
 	}
 }
 
-// SpawnDepthFor promises "at least 8 tasks per worker"; with a
-// power-of-two leaf count the per-worker share must land in [8, 16).
+// SpawnDepthFor promises "at least 8 tasks per worker" for real
+// parallelism; with a power-of-two leaf count the per-worker share
+// must land in [8, 16). One worker has nothing to balance and must
+// short-circuit to the pure-sequential depth 0.
 func TestSpawnDepthForInvariant(t *testing.T) {
-	for w := 1; w <= 64; w++ {
+	if d := SpawnDepthFor(1); d != 0 {
+		t.Errorf("workers=1 depth=%d, want 0 (pure sequential)", d)
+	}
+	if d := SpawnDepthFor(0); d != 0 {
+		t.Errorf("workers=0 depth=%d, want 0 (pure sequential)", d)
+	}
+	for w := 2; w <= 64; w++ {
 		d := SpawnDepthFor(w)
 		leaves := 1 << d
 		if leaves < 8*w {
@@ -114,22 +122,62 @@ func TestStatsSequentialParallelEquivalence(t *testing.T) {
 	c1 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
 	var seq stats.TraversalStats
 	RunStats(q, r, c1, &seq)
-
-	c2 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
-	var par stats.TraversalStats
-	RunParallel(q, r, c2, Options{Workers: 4, Stats: &par})
-
-	if seq.Visits != par.Visits || seq.Prunes != par.Prunes || seq.Approxes != par.Approxes ||
-		seq.BaseCases != par.BaseCases || seq.BaseCasePairs != par.BaseCasePairs ||
-		seq.PrunedPairs != par.PrunedPairs || seq.ApproxPairs != par.ApproxPairs ||
-		seq.MaxDepth != par.MaxDepth {
-		t.Fatalf("seq %+v != par %+v", seq, par)
-	}
-	if par.TasksSpawned == 0 {
-		t.Fatal("parallel traversal spawned no tasks")
-	}
-	if seq.TasksSpawned != 0 || seq.InlineFallbacks != 0 {
+	if seq.TasksSpawned != 0 || seq.InlineFallbacks != 0 || seq.TasksStolen != 0 {
 		t.Fatalf("sequential traversal must not account tasks: %+v", seq)
+	}
+	if seq.TasksExecuted != 1 {
+		t.Fatalf("sequential TasksExecuted = %d, want 1 (the root walk)", seq.TasksExecuted)
+	}
+
+	for _, sched := range []Schedule{ScheduleSteal, ScheduleSpawn} {
+		c2 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+		var par stats.TraversalStats
+		RunParallel(q, r, c2, Options{Workers: 4, Schedule: sched, Stats: &par})
+
+		if seq.Visits != par.Visits || seq.Prunes != par.Prunes || seq.Approxes != par.Approxes ||
+			seq.BaseCases != par.BaseCases || seq.BaseCasePairs != par.BaseCasePairs ||
+			seq.PrunedPairs != par.PrunedPairs || seq.ApproxPairs != par.ApproxPairs ||
+			seq.MaxDepth != par.MaxDepth {
+			t.Fatalf("%v: seq %+v != par %+v", sched, seq, par)
+		}
+		if par.TasksSpawned == 0 {
+			t.Fatalf("%v: parallel traversal spawned no tasks", sched)
+		}
+		if par.TasksExecuted == 0 {
+			t.Fatalf("%v: parallel traversal executed no tasks", sched)
+		}
+		if sched == ScheduleSpawn && par.TasksExecuted != par.TasksSpawned+1 {
+			t.Fatalf("spawn: TasksExecuted %d, want TasksSpawned+1 = %d",
+				par.TasksExecuted, par.TasksSpawned+1)
+		}
+		if sched == ScheduleSteal && par.DequeHighWater == 0 {
+			t.Fatalf("steal: deque high-water never recorded: %+v", par)
+		}
+	}
+}
+
+// Workers=1 must be a pure sequential run under either schedule: zero
+// task accounting, identical decision counters, exactly one executed
+// "task" (the root walk).
+func TestWorkersOneIsPureSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q := buildTree(rng, 300, 3, 8)
+	r := buildTree(rng, 280, 3, 8)
+
+	c1 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+	var seq stats.TraversalStats
+	RunStats(q, r, c1, &seq)
+
+	for _, sched := range []Schedule{ScheduleSteal, ScheduleSpawn} {
+		c2 := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+		var one stats.TraversalStats
+		RunParallel(q, r, c2, Options{Workers: 1, Schedule: sched, BatchBaseCases: true, Stats: &one})
+		if one != seq {
+			t.Fatalf("%v: Workers=1 stats %+v differ from sequential %+v", sched, one, seq)
+		}
+		if one.TasksSpawned != 0 || one.TasksStolen != 0 || one.InlineFallbacks != 0 {
+			t.Fatalf("%v: Workers=1 accounted tasks: %+v", sched, one)
+		}
 	}
 }
 

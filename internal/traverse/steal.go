@@ -1,0 +1,425 @@
+// Work-stealing traversal runtime (the default parallel scheduler).
+//
+// The spawn-depth scheduler commits to a task partition up front: below
+// the fixed depth everything runs inline, so one skewed subtree —
+// clustered data, asymmetric pruning — can pin the whole tail of the
+// traversal on a single worker while the rest idle. The work-stealing
+// runtime keeps the task supply dynamic instead, the behaviour the
+// paper gets from OpenMP's task scheduler (Section IV-F): every worker
+// owns a bounded deque of traversal tasks, pushes child tasks as it
+// descends, pops them back LIFO (depth-first, cache-hot), and when its
+// own deque runs dry steals FIFO from a victim chosen by scanning the
+// other workers — FIFO steals take the largest-granularity task
+// available, so one steal rebalances the most work.
+//
+// Task creation is throttled by an adaptive pair-count cutoff rather
+// than a depth: a query split spawns only while the node pair still
+// covers more point pairs than the cutoff, so task granularity tracks
+// the work actually remaining under the pair — balanced or skewed —
+// instead of the distance from the root.
+//
+// Joins block but workers never idle in them: a parent waiting for its
+// spawned query children to finish *helps* — pops its own deque, then
+// steals — until the join resolves, and only then runs PostChildren.
+// Query-subtree disjointness is preserved exactly as in the spawn
+// scheduler: tasks are created only at query-side splits, and a parent
+// resolves its join before its caller can start a sibling pair over
+// the same query subtree, so two live tasks never share query state.
+//
+// Interaction batching (optional, BatchBaseCases) defers leaf base
+// cases instead of running them at discovery: each worker buffers
+// (query leaf, reference leaf) pairs keyed by reference leaf and
+// flushes a bucket by sweeping the one reference tile against all
+// buffered query leaves back-to-back through the backend's fused
+// kernels — the reference tile is loaded once per flush instead of
+// once per query leaf. Buffers are drained at the end of every task
+// execution *before* the task's join decrement, so all writes a flush
+// performs are ordered before the parent's PostChildren for any query
+// subtree involved.
+package traverse
+
+import (
+	"runtime"
+	"sync"
+
+	"portal/internal/prune"
+	"portal/internal/stats"
+	"portal/internal/trace"
+	"portal/internal/tree"
+)
+
+// BatchableRule is an optional Rule capability: rules whose base cases
+// may be deferred and reordered — no per-base-case feedback into the
+// prune bounds, results independent of leaf-pair execution order
+// within the documented operator tolerances (bit-exact for
+// comparative reductions, 1e-12 for SUM/PROD) — can batch them by
+// reference leaf.
+type BatchableRule interface {
+	Rule
+	// Batchable reports whether deferral is semantically safe for this
+	// bound configuration (e.g. the backend refuses when a query-node
+	// bound needs immediate base-case feedback, as in KNN).
+	Batchable() bool
+	// BaseCaseBatch runs the base case of every buffered query leaf
+	// against one reference leaf back-to-back, reusing the hot
+	// reference tile.
+	BaseCaseBatch(qns []*tree.Node, rn *tree.Node)
+}
+
+// batchBucketCap flushes a reference-leaf bucket once this many query
+// leaves have accumulated against it. 32 leaves × a 256-point leaf is
+// deep enough to amortize the reference-tile loads without letting
+// deferred work grow unboundedly between drains.
+const batchBucketCap = 32
+
+// stealCutoffFloor scales the minimum task granularity: a task must
+// cover at least this many leaf-pair units (floor = 16 ·
+// avg-query-leaf · avg-reference-leaf point pairs), so a task is never
+// smaller than a handful of base cases regardless of worker count.
+const stealCutoffFloor = 16
+
+// stealCutoff derives the adaptive inline cutoff: query splits stop
+// creating tasks once the node pair covers fewer point pairs than
+// total/(workers·64) — targeting enough tasks for dynamic balance
+// without drowning the deques — clamped below by a multiple of the
+// average leaf-pair size so tasks stay coarser than single base cases
+// even at high worker counts.
+func stealCutoff(q, r *tree.Tree, workers int) int64 {
+	total := int64(q.Len()) * int64(r.Len())
+	qLeaf := int64(q.Len() / max(q.LeafCount, 1))
+	rLeaf := int64(r.Len() / max(r.LeafCount, 1))
+	floor := stealCutoffFloor * max(qLeaf, 1) * max(rLeaf, 1)
+	return max(total/int64(workers*64), floor)
+}
+
+// stealCtx is the shared state of one work-stealing traversal.
+type stealCtx struct {
+	workers int
+	cutoff  int64
+	root    *stats.TraversalStats
+	rec     trace.Recorder
+	// done closes after worker 0's root walk returns. The root walk
+	// cannot return until every join it transitively created resolved,
+	// and a join resolves only after each of its tasks was removed
+	// from a deque and executed — so at close time every deque is
+	// empty, no task is in flight, and no further push can happen.
+	done chan struct{}
+	ws   []*stealWorker
+}
+
+// batchBuf is one worker's interaction buffer: reference leaf →
+// pending query leaves. Flushed buckets keep their slot (capacity
+// reused, length zeroed), so the map grows to the number of distinct
+// reference leaves this worker ever buffered, not the flush count.
+type batchBuf struct {
+	rule    BatchableRule
+	buckets map[*tree.Node][]*tree.Node
+}
+
+// stealWorker is one worker's private state: its deque, its forked
+// rule (worker 0 keeps the root rule), its stats/trace buffers, and
+// its interaction buffer when batching is on.
+type stealWorker struct {
+	id    int
+	sc    *stealCtx
+	rule  Rule
+	ord   ChildOrderer
+	batch *batchBuf
+	st    *stats.TraversalStats
+	// tt is the currently open trace span: the root walk for worker 0,
+	// the current top-level task for thieves. Tasks executed while
+	// helping inside a join fold into this enclosing span, so open
+	// spans never exceed the worker count.
+	tt *trace.Task
+	dq deque
+}
+
+// runSteal executes the traversal on workers >= 2 under the
+// work-stealing scheduler. The calling goroutine is worker 0 and walks
+// the root pair; workers 1..W-1 start with empty deques and live by
+// stealing.
+func runSteal(q, r *tree.Tree, rule Rule, workers int, opts Options) {
+	sc := &stealCtx{
+		workers: workers,
+		cutoff:  stealCutoff(q, r, workers),
+		root:    opts.Stats,
+		rec:     opts.Trace,
+		done:    make(chan struct{}),
+		ws:      make([]*stealWorker, workers),
+	}
+	batching := false
+	if opts.BatchBaseCases {
+		if br, ok := rule.(BatchableRule); ok && br.Batchable() {
+			batching = true
+		}
+	}
+	for i := range sc.ws {
+		wr := rule
+		if i > 0 {
+			wr = rule.Fork()
+		}
+		w := &stealWorker{id: i, sc: sc, rule: wr}
+		w.ord, _ = wr.(ChildOrderer)
+		if batching {
+			w.batch = &batchBuf{
+				rule:    wr.(BatchableRule),
+				buckets: make(map[*tree.Node][]*tree.Node),
+			}
+		}
+		if sc.root != nil {
+			w.st = &stats.TraversalStats{}
+		}
+		sc.ws[i] = w
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		go func(w *stealWorker) {
+			defer wg.Done()
+			w.stealLoop()
+			w.finish()
+		}(sc.ws[i])
+	}
+	w0 := sc.ws[0]
+	if sc.rec != nil {
+		w0.tt = sc.rec.TaskBegin(trace.PhaseTraverse, 0)
+	}
+	if w0.st != nil {
+		w0.st.TasksExecuted++
+	}
+	w0.pair(q.Root, r.Root, 0)
+	// The root walk's own buffered base cases have no enclosing task
+	// execution to drain them; sweep them now, before declaring the
+	// traversal finished.
+	w0.drainBatch()
+	close(sc.done)
+	wg.Wait()
+	w0.finish()
+	if w0.tt != nil {
+		// Root span closes after every worker has: its extent is the
+		// traversal's wall time.
+		sc.rec.TaskEnd(w0.tt)
+	}
+}
+
+// stealLoop is the main loop of workers 1..W-1: acquire a top-level
+// task — own deque first (provably empty here, but harmless), then a
+// victim scan — or yield until the traversal completes.
+func (w *stealWorker) stealLoop() {
+	for {
+		if t, ok := w.dq.pop(); ok {
+			w.runTop(t, false)
+			continue
+		}
+		if t, ok := w.trySteal(); ok {
+			w.runTop(t, true)
+			continue
+		}
+		select {
+		case <-w.sc.done:
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// runTop executes a top-level task: it counts toward TasksExecuted and
+// opens its own trace span (the spans == TasksExecuted invariant).
+// Tasks run while helping inside a join do not come through here.
+func (w *stealWorker) runTop(t task, stolen bool) {
+	if w.st != nil {
+		w.st.TasksExecuted++
+	}
+	if w.sc.rec != nil {
+		w.tt = w.sc.rec.TaskBegin(trace.PhaseTraverse, t.depth)
+		if stolen {
+			w.tt.MarkStolen()
+		}
+	}
+	w.exec(t)
+	if w.tt != nil {
+		w.sc.rec.TaskEnd(w.tt)
+		w.tt = nil
+	}
+}
+
+// trySteal scans the other workers starting after w's own slot and
+// takes the oldest task of the first non-empty deque.
+func (w *stealWorker) trySteal() (task, bool) {
+	ws := w.sc.ws
+	for i := 1; i < len(ws); i++ {
+		if t, ok := ws[(w.id+i)%len(ws)].dq.steal(); ok {
+			if w.st != nil {
+				w.st.TasksStolen++
+			}
+			return t, true
+		}
+	}
+	return task{}, false
+}
+
+// exec runs one task — the query child against every reference child
+// of the task's parent reference node — then drains this worker's
+// whole interaction buffer *before* resolving the join: a query leaf's
+// pairs may be buffered by different workers across temporally
+// disjoint tasks, and flushing under the task's join decrement orders
+// every such flush before the PostChildren of any enclosing query
+// node.
+func (w *stealWorker) exec(t task) {
+	w.inlineChild(t.qn, t.rn, t.depth)
+	w.drainBatch()
+	t.join.add(-1)
+}
+
+// inlineChild runs the child pairs of one query child qc against
+// split(rn) at depth cdepth, applying the reference-child ordering
+// hook — the straight-line equivalent of executing task{qc, rn}.
+func (w *stealWorker) inlineChild(qc, rn *tree.Node, cdepth int) {
+	if rn.IsLeaf() {
+		w.pair(qc, rn, cdepth)
+		return
+	}
+	rc := rn.Children
+	if w.ord != nil && len(rc) == 2 && w.ord.SwapRefChildren(qc, rc[0], rc[1]) {
+		w.pair(qc, rc[1], cdepth)
+		w.pair(qc, rc[0], cdepth)
+		return
+	}
+	for _, c := range rc {
+		w.pair(qc, c, cdepth)
+	}
+}
+
+// pair is Algorithm 1 under the work-stealing scheduler: identical
+// decision structure to dual, with task creation at query-side splits
+// while the pair's coverage exceeds the cutoff.
+func (w *stealWorker) pair(qn, rn *tree.Node, depth int) {
+	st, tt := w.st, w.tt
+	if st != nil && int64(depth) > st.MaxDepth {
+		st.MaxDepth = int64(depth)
+	}
+	switch w.rule.PruneApprox(qn, rn) {
+	case prune.Prune:
+		recPrune(st, tt, depth, qn, rn)
+		return
+	case prune.Approx:
+		recApprox(st, tt, depth, qn, rn)
+		w.rule.ComputeApprox(qn, rn)
+		return
+	}
+	if st != nil {
+		st.Visits++
+	}
+	if tt != nil {
+		tt.Visit(depth)
+	}
+	if qn.IsLeaf() && rn.IsLeaf() {
+		recBase(st, tt, depth, qn, rn)
+		if w.batch != nil {
+			w.bufferBase(qn, rn)
+		} else {
+			w.rule.BaseCase(qn, rn)
+		}
+		return
+	}
+	qsplit := split(qn)
+	if len(qsplit) >= 2 && pairCount(qn, rn) > w.sc.cutoff {
+		// Spawn all but the last query child as tasks; the join is
+		// incremented before each push so a thief's early completion
+		// can never drop pending below the true outstanding count.
+		jn := &join{}
+		for _, qc := range qsplit[:len(qsplit)-1] {
+			jn.add(1)
+			if w.dq.push(task{qn: qc, rn: rn, depth: depth + 1, join: jn}) {
+				if st != nil {
+					st.TasksSpawned++
+				}
+			} else {
+				jn.add(-1)
+				if st != nil {
+					st.InlineFallbacks++
+				}
+				w.inlineChild(qc, rn, depth+1)
+			}
+		}
+		w.inlineChild(qsplit[len(qsplit)-1], rn, depth+1)
+		w.helpUntil(jn)
+		w.rule.PostChildren(qn)
+		return
+	}
+	for _, qc := range qsplit {
+		w.inlineChild(qc, rn, depth+1)
+	}
+	w.rule.PostChildren(qn)
+}
+
+// helpUntil blocks until the join resolves, executing other tasks
+// while waiting: own deque LIFO first (most likely this join's own
+// children, hottest in cache), then steals. Helped tasks fold into the
+// enclosing top-level span and do not count as executed tasks.
+// Deadlock-free: joins wait only on strict query-descendants, and a
+// deepest outstanding task never waits on anything.
+func (w *stealWorker) helpUntil(jn *join) {
+	for !jn.done() {
+		if t, ok := w.dq.pop(); ok {
+			w.exec(t)
+			continue
+		}
+		if t, ok := w.trySteal(); ok {
+			w.exec(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// bufferBase defers a leaf base case into the reference leaf's bucket,
+// flushing the bucket when it reaches capacity. The base case was
+// already recorded (recBase) at discovery, so decision counters stay
+// identical between the immediate and batched paths.
+func (w *stealWorker) bufferBase(qn, rn *tree.Node) {
+	qns := append(w.batch.buckets[rn], qn)
+	if len(qns) >= batchBucketCap {
+		w.flushBucket(rn, qns)
+		return
+	}
+	w.batch.buckets[rn] = qns
+}
+
+// flushBucket sweeps one reference leaf against its buffered query
+// leaves and resets the bucket in place.
+func (w *stealWorker) flushBucket(rn *tree.Node, qns []*tree.Node) {
+	w.batch.rule.BaseCaseBatch(qns, rn)
+	if w.st != nil {
+		w.st.BatchFlushes++
+		w.st.BatchedBaseCases += int64(len(qns))
+	}
+	if w.tt != nil {
+		w.tt.Batch(len(qns))
+	}
+	w.batch.buckets[rn] = qns[:0]
+}
+
+// drainBatch flushes every non-empty bucket.
+func (w *stealWorker) drainBatch() {
+	if w.batch == nil {
+		return
+	}
+	for rn, qns := range w.batch.buckets {
+		if len(qns) > 0 {
+			w.flushBucket(rn, qns)
+		}
+	}
+}
+
+// finish folds the worker's private observers into the run: deque
+// high-water, rule-level counters, then one atomic merge.
+func (w *stealWorker) finish() {
+	if w.st == nil {
+		return
+	}
+	w.st.DequeHighWater = int64(w.dq.highWater())
+	flushRule(w.rule, w.st)
+	w.st.MergeAtomic(w.sc.root)
+}

@@ -10,10 +10,16 @@
 // for the parallel traversal).
 //
 // Parallelization follows Section IV-F: task parallelism over the
-// traversal recursion — tasks are spawned on query-side child splits
-// until the workers saturate, at which point the remaining recursion
-// runs sequentially (data parallelism inside leaf base cases is the
-// specialized kernels' unrolled loops).
+// traversal recursion, with tasks created at query-side child splits.
+// Two schedulers implement it. The default work-stealing runtime
+// (steal.go) pushes tasks onto per-worker bounded LIFO deques and lets
+// idle workers steal FIFO from victims, with an adaptive inline cutoff
+// by subtree pair-count — the dynamic-scheduling behaviour the paper
+// gets from OpenMP tasks. The legacy spawn-depth scheduler (parDual)
+// spawns goroutines down to a fixed depth behind a workers-1 semaphore
+// and runs everything below inline. Either way, once task creation
+// stops the remaining recursion runs sequentially (data parallelism
+// inside leaf base cases is the specialized kernels' unrolled loops).
 //
 // Observability: the traversal is also where the prune/approximate
 // decisions are *counted*. Pass a stats.TraversalStats to RunStats (or
@@ -85,12 +91,15 @@ func RunStats(q, r *tree.Tree, rule Rule, st *stats.TraversalStats) {
 // runSeq is the sequential traversal with optional statistics and
 // tracing. The whole walk is recorded as one root span, so a traced
 // sequential run always emits exactly one traverse span
-// (TasksSpawned + 1 with TasksSpawned = 0).
+// (TasksExecuted = 1, TasksSpawned = 0).
 func runSeq(q, r *tree.Tree, rule Rule, st *stats.TraversalStats, rec trace.Recorder) {
 	ord, _ := rule.(ChildOrderer)
 	var tt *trace.Task
 	if rec != nil {
 		tt = rec.TaskBegin(trace.PhaseTraverse, 0)
+	}
+	if st != nil {
+		st.TasksExecuted++
 	}
 	dual(q.Root, r.Root, rule, ord, 0, st, tt)
 	if st != nil {
@@ -214,6 +223,40 @@ func split(n *tree.Node) []*tree.Node {
 	return n.Children
 }
 
+// Schedule selects the parallel traversal's task scheduler.
+type Schedule int
+
+const (
+	// ScheduleSteal (the default) runs the work-stealing runtime:
+	// per-worker bounded LIFO deques of traversal tasks, idle workers
+	// stealing FIFO from victims chosen by scan, and an adaptive
+	// inline cutoff by subtree pair-count. See steal.go.
+	ScheduleSteal Schedule = iota
+	// ScheduleSpawn runs the legacy fixed spawn-depth scheduler:
+	// query-side goroutine spawns down to SpawnDepth behind a
+	// workers-1 semaphore, everything below inline.
+	ScheduleSpawn
+)
+
+// String names the schedule for flags and reports.
+func (s Schedule) String() string {
+	if s == ScheduleSpawn {
+		return "spawn"
+	}
+	return "steal"
+}
+
+// ParseSchedule maps the flag spelling to a Schedule.
+func ParseSchedule(s string) (Schedule, bool) {
+	switch s {
+	case "steal", "":
+		return ScheduleSteal, true
+	case "spawn":
+		return ScheduleSpawn, true
+	}
+	return ScheduleSteal, false
+}
+
 // Options configure the parallel traversal.
 type Options struct {
 	// Workers caps concurrency; 0 means GOMAXPROCS. The calling
@@ -223,9 +266,19 @@ type Options struct {
 	// so one -workers setting governs the build and traversal phases
 	// uniformly.
 	Workers int
+	// Schedule selects the scheduler; the zero value is ScheduleSteal.
+	Schedule Schedule
 	// SpawnDepth controls how deep query-side splits keep spawning
-	// tasks; 0 derives it from Workers via SpawnDepthFor.
+	// tasks under ScheduleSpawn; 0 derives it from Workers via
+	// SpawnDepthFor. Ignored by ScheduleSteal, whose inline cutoff is
+	// adaptive by pair-count.
 	SpawnDepth int
+	// BatchBaseCases defers leaf base cases into per-worker
+	// interaction buffers keyed by reference leaf, sweeping one
+	// reference tile against many query leaves per flush. Takes
+	// effect only under ScheduleSteal with Workers >= 2 and a rule
+	// that implements BatchableRule and reports Batchable().
+	BatchBaseCases bool
 	// Stats, when non-nil, receives the traversal's statistics. Each
 	// task accumulates privately and merges on completion.
 	Stats *stats.TraversalStats
@@ -241,7 +294,12 @@ type Options struct {
 // worker at least 8 tasks for load balancing. Because the leaf count
 // is a power of two, the per-worker task count lands in [8, 16) —
 // "at least 8×", not exactly 8×, for non-power-of-two worker counts.
+// A single worker has nothing to balance: workers <= 1 returns 0, the
+// pure-sequential depth (no task plumbing, zero spawns).
 func SpawnDepthFor(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
 	depth := 1
 	for 1<<depth < workers*8 {
 		depth++
@@ -264,6 +322,9 @@ type parCtx struct {
 // Correctness requires only that concurrent tasks own disjoint query
 // subtrees: all per-query and per-query-node state is then written by
 // exactly one task, while the reference tree is shared read-only.
+//
+// Workers == 1 always takes the sequential path — byte-identical to
+// RunStats regardless of Schedule or BatchBaseCases.
 func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -271,6 +332,10 @@ func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 	}
 	if workers == 1 {
 		runSeq(q, r, rule, opts.Stats, opts.Trace)
+		return
+	}
+	if opts.Schedule != ScheduleSpawn {
+		runSteal(q, r, rule, workers, opts)
 		return
 	}
 	depth := opts.SpawnDepth
@@ -289,6 +354,9 @@ func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 	var tt *trace.Task
 	if pc.rec != nil {
 		tt = pc.rec.TaskBegin(trace.PhaseTraverse, 0)
+	}
+	if local != nil {
+		local.TasksExecuted++
 	}
 	ord, _ := rule.(ChildOrderer)
 	parDual(q.Root, r.Root, rule, ord, depth, 0, pc, local, tt)
@@ -371,7 +439,7 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth i
 					defer func() { <-pc.sem }()
 					var tst *stats.TraversalStats
 					if pc.root != nil {
-						tst = &stats.TraversalStats{}
+						tst = &stats.TraversalStats{TasksExecuted: 1}
 					}
 					var ttt *trace.Task
 					if pc.rec != nil {

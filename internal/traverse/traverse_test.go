@@ -212,7 +212,9 @@ func TestExplicitSpawnDepth(t *testing.T) {
 	q := buildTree(rng, 256, 2, 8)
 	r := buildTree(rng, 256, 2, 8)
 	c := &countRule{q: q, r: r, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
-	RunParallel(q, r, c, Options{Workers: 3, SpawnDepth: 2})
+	// SpawnDepth is a spawn-scheduler knob; the steal scheduler's
+	// cutoff is adaptive and ignores it.
+	RunParallel(q, r, c, Options{Workers: 3, Schedule: ScheduleSpawn, SpawnDepth: 2})
 	for i, n := range c.perQuery {
 		if n != int64(r.Len()) {
 			t.Fatalf("query %d saw %d", i, n)
