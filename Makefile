@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-compare stats trace-smoke
+.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-serve bench-compare stats trace-smoke serve-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
-check: build vet test race trace-smoke
+check: build vet test race trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # The traversal, engine, tree build, and trace recorder are where
 # parallelism lives; run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/...
+	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/... ./internal/serve/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -41,11 +41,17 @@ bench-basecase:
 bench-traverse:
 	$(GO) run ./cmd/portalbench -experiment traverse -scale 10000 -reps 3 -json BENCH_traverse.json
 
+# Serving benchmark: p50/p99 latency and QPS vs workers for the
+# portald query path, driven in-process and over HTTP; writes
+# BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/portalbench -experiment serve -scale 10000 -reps 3 -json BENCH_serve.json
+
 # Regression gate: rerun the recorded BENCH_treebuild.json,
-# BENCH_basecase.json, and BENCH_traverse.json configurations and fail
-# on >25% wall-time regression in any.
+# BENCH_basecase.json, BENCH_traverse.json, and BENCH_serve.json
+# configurations and fail on >25% regression in any.
 bench-compare:
-	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json -scale 10000 -reps 3
+	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json -scale 10000 -reps 3
 
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000
@@ -60,3 +66,14 @@ trace-smoke:
 		-trace /tmp/portal-trace-smoke/trace.json -stats-json /tmp/portal-trace-smoke/stats.json
 	$(GO) run ./internal/trace/tracecheck \
 		-trace /tmp/portal-trace-smoke/trace.json -stats /tmp/portal-trace-smoke/stats.json
+
+# End-to-end serving smoke test: start a real portald, upload a
+# 10k-point CSV, run kde+knn twice asserting the repeat hits the
+# compiled-problem cache, drop the dataset asserting the registry's
+# snapshot refcounts drain, and shut down cleanly.
+serve-smoke:
+	@mkdir -p /tmp/portal-serve-smoke
+	$(GO) run ./cmd/portalgen -dataset IHEPC -n 10000 -seed 1 -o /tmp/portal-serve-smoke/data.csv
+	$(GO) build -o /tmp/portal-serve-smoke/portald ./cmd/portald
+	$(GO) run ./internal/serve/servesmoke \
+		-portald /tmp/portal-serve-smoke/portald -csv /tmp/portal-serve-smoke/data.csv

@@ -11,11 +11,14 @@
 //	portalbench -experiment all [-scale N] [-seq] [-reps R]
 //	portalbench -experiment basecase        # fused vs legacy base-case loops
 //	portalbench -experiment traverse        # steal vs spawn scheduler sweep
-//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json
-//	    # regression gate: rerun each named baseline (dispatched by file
-//	    # name: "basecase" files gate fused traversal time, "traverse"
-//	    # files the steal-scheduler traversal, everything else the tree
-//	    # build) and exit 1 on any >25% regression
+//	portalbench -experiment serve           # portald p50/p99 latency and QPS
+//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json
+//	    # regression gate: rerun each named baseline, dispatched by the
+//	    # "experiment" discriminator embedded in the file (legacy
+//	    # bare-array files fall back to filename matching). A baseline
+//	    # that fails to load is reported and counted as a failure
+//	    # without aborting the remaining gates; the run exits 1 if any
+//	    # configuration regressed >25% or any baseline failed to load
 //
 // -workers caps worker goroutines in every experiment's tree build and
 // traversal. -json FILE writes the machine-readable form of any
@@ -41,7 +44,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, stats, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, serve, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
@@ -52,7 +55,7 @@ func main() {
 	statsFlag := flag.Bool("stats", false,
 		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable JSON to this file (any experiment)")
-	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json, BENCH_basecase.json, and/or BENCH_traverse.json); exits non-zero on >25% regression")
+	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json, BENCH_basecase.json, BENCH_traverse.json, and/or BENCH_serve.json); exits non-zero on >25% regression or any baseline load failure")
 	traceOut := flag.String("trace", "", "write an execution trace of the Portal-side runs (Chrome trace-event JSON) to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	flag.Parse()
@@ -105,44 +108,100 @@ func main() {
 
 	if *compare != "" {
 		// Each comma-separated baseline file runs its own gate,
-		// dispatched by file name; any regression anywhere fails the run.
+		// dispatched by the experiment discriminator embedded in the
+		// file (legacy bare-array baselines fall back to filename
+		// matching). A file that fails to load is reported and counted
+		// as a gate failure — the remaining gates still run, and the
+		// summary is emitted before the non-zero exit.
 		regressed, total := 0, 0
-		jsonRegs := map[string]any{}
+		gates := map[string]any{}
+		type gateFailure struct {
+			Path  string `json:"path"`
+			Error string `json:"error"`
+		}
+		var failures []gateFailure
+		loadFailed := func(path string, err error) {
+			fmt.Fprintf(os.Stderr, "portalbench: %s: baseline failed to load: %v\n", path, err)
+			failures = append(failures, gateFailure{Path: path, Error: err.Error()})
+		}
 		for _, path := range strings.Split(*compare, ",") {
-			if strings.Contains(filepath.Base(path), "traverse") {
-				baseline, err := bench.LoadTraverseBaseline(path)
-				fail(err)
-				fmt.Printf("== Traversal-scheduler regression gate vs %s (tolerance 25%%) ==\n", path)
-				regs := bench.CompareTraverse(o, baseline, 0.25, os.Stdout)
-				jsonRegs["traverse"] = regs
-				regressed += len(regs)
-				total += len(baseline)
+			kind, err := bench.BaselineKind(path)
+			if err != nil {
+				loadFailed(path, err)
 				continue
 			}
-			if strings.Contains(filepath.Base(path), "basecase") {
+			if kind == "" {
+				// Legacy bare-array file: no discriminator, dispatch by
+				// filename as the old gate did.
+				base := filepath.Base(path)
+				switch {
+				case strings.Contains(base, "traverse"):
+					kind = bench.KindTraverse
+				case strings.Contains(base, "basecase"):
+					kind = bench.KindBaseCase
+				case strings.Contains(base, "serve"):
+					kind = bench.KindServe
+				default:
+					kind = bench.KindTreeBuild
+				}
+			}
+			switch kind {
+			case bench.KindTreeBuild:
+				baseline, err := bench.LoadTreeBuildBaseline(path)
+				if err != nil {
+					loadFailed(path, err)
+					continue
+				}
+				fmt.Printf("== Tree-build regression gate vs %s (tolerance 25%%) ==\n", path)
+				regs := bench.CompareTreeBuild(o, baseline, 0.25, os.Stdout)
+				gates[path] = regs
+				regressed += len(regs)
+				total += len(baseline)
+			case bench.KindBaseCase:
 				baseline, err := bench.LoadBaseCaseBaseline(path)
-				fail(err)
+				if err != nil {
+					loadFailed(path, err)
+					continue
+				}
 				fmt.Printf("== Base-case regression gate vs %s (tolerance 25%%) ==\n", path)
 				regs := bench.CompareBaseCase(o, baseline, 0.25, os.Stdout)
-				jsonRegs["basecase"] = regs
+				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
-				continue
+			case bench.KindTraverse:
+				baseline, err := bench.LoadTraverseBaseline(path)
+				if err != nil {
+					loadFailed(path, err)
+					continue
+				}
+				fmt.Printf("== Traversal-scheduler regression gate vs %s (tolerance 25%%) ==\n", path)
+				regs := bench.CompareTraverse(o, baseline, 0.25, os.Stdout)
+				gates[path] = regs
+				regressed += len(regs)
+				total += len(baseline)
+			case bench.KindServe:
+				baseline, err := bench.LoadServeBaseline(path)
+				if err != nil {
+					loadFailed(path, err)
+					continue
+				}
+				fmt.Printf("== Serving-path regression gate vs %s (p50, tolerance 25%%) ==\n", path)
+				regs := bench.CompareServe(o, baseline, 0.25, os.Stdout)
+				gates[path] = regs
+				regressed += len(regs)
+				total += len(baseline)
+			default:
+				loadFailed(path, fmt.Errorf("unknown baseline experiment %q", kind))
 			}
-			baseline, err := bench.LoadTreeBuildBaseline(path)
-			fail(err)
-			fmt.Printf("== Tree-build regression gate vs %s (tolerance 25%%) ==\n", path)
-			regs := bench.CompareTreeBuild(o, baseline, 0.25, os.Stdout)
-			jsonRegs["treebuild"] = regs
-			regressed += len(regs)
-			total += len(baseline)
 		}
-		writeJSON(*jsonPath, jsonRegs)
+		writeJSON(*jsonPath, map[string]any{"gates": gates, "failures": failures})
 		finish()
 		writeTrace()
-		if regressed > 0 {
-			fmt.Fprintf(os.Stderr, "portalbench: %d of %d configurations regressed >25%%\n",
-				regressed, total)
+		fmt.Printf("gate summary: %d of %d configurations regressed, %d baseline file(s) failed to load\n",
+			regressed, total, len(failures))
+		if regressed > 0 || len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "portalbench: gate failed (%d regressions, %d load failures)\n",
+				regressed, len(failures))
 			os.Exit(1)
 		}
 		fmt.Printf("all %d configurations within tolerance\n", total)
@@ -163,8 +222,11 @@ func main() {
 	}
 
 	// jsonOut collects the experiment's machine-readable result for
-	// -json; every experiment fills it.
+	// -json; every experiment fills it. Baseline-producing experiments
+	// also set jsonKind so the file is written as an enveloped baseline
+	// carrying its experiment discriminator.
 	var jsonOut any
+	var jsonKind string
 	var t4, t5 []bench.Row
 	switch *experiment {
 	case "table2":
@@ -198,13 +260,20 @@ func main() {
 	case "basecase":
 		fmt.Println("== Base-case kernels (fused vs legacy loops, leaf=256) ==")
 		jsonOut = bench.BaseCase(o, os.Stdout)
+		jsonKind = bench.KindBaseCase
 	case "traverse":
 		fmt.Println("== Traversal schedulers (spawn vs steal vs steal+batch) ==")
 		jsonOut = bench.Traverse(o, os.Stdout)
+		jsonKind = bench.KindTraverse
+	case "serve":
+		fmt.Println("== Serving path (p50/p99 latency and QPS vs workers) ==")
+		jsonOut = bench.Serve(o, os.Stdout)
+		jsonKind = bench.KindServe
 	case "treebuild":
 		fmt.Println("== Tree construction (serial vs parallel arena build) ==")
 		results := bench.TreeBuild(o, *workers, os.Stdout)
 		jsonOut = results
+		jsonKind = bench.KindTreeBuild
 		if *jsonPath == "" {
 			// Historical behaviour: treebuild prints its JSON to stdout
 			// when no -json file is given (make bench-tree pipes it).
@@ -230,7 +299,13 @@ func main() {
 		fmt.Println("\n== Shape summary ==")
 		fmt.Print(s)
 	}
-	writeJSON(*jsonPath, jsonOut)
+	if jsonKind != "" && *jsonPath != "" {
+		b, err := bench.MarshalBaseline(jsonKind, jsonOut)
+		fail(err)
+		fail(os.WriteFile(*jsonPath, append(b, '\n'), 0o644))
+	} else {
+		writeJSON(*jsonPath, jsonOut)
+	}
 	finish()
 	writeTrace()
 }

@@ -1,0 +1,75 @@
+// Command portald is the long-lived Portal query server: it keeps
+// named datasets resident as immutable tree snapshots, caches compiled
+// problems, batches concurrent queries into shared traversal ticks,
+// and serves the JSON API of internal/serve over HTTP.
+//
+//	portald -addr :7070 -workers 8
+//
+// Endpoints: PUT/DELETE /datasets/{name}, GET /datasets, POST /query,
+// GET /stats, GET /healthz. See README "Serving".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"portal/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "traversal worker budget per batch tick (0 = GOMAXPROCS)")
+	leaf := flag.Int("leaf", 32, "tree leaf capacity")
+	tick := flag.Duration("tick", 2*time.Millisecond, "query batching window")
+	maxBatch := flag.Int("max-batch", 64, "max queries per batch tick")
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		LeafSize: *leaf,
+		Workers:  *workers,
+		Tick:     *tick,
+		MaxBatch: *maxBatch,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("portald: %v", err)
+	}
+	// The resolved address goes to stdout so drivers (serve-smoke) can
+	// start on port 0 and discover the port.
+	fmt.Printf("portald listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("portald: %v, shutting down", s)
+	case err := <-done:
+		log.Fatalf("portald: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("portald: shutdown: %v", err)
+	}
+	srv.Close()
+
+	st := srv.Stats(false)
+	log.Printf("portald: served %d queries in %d batches (compile cache: %d hits, %d misses)",
+		st.Queries, st.Batches, st.CompileCache.Hits, st.CompileCache.Misses)
+	log.Printf("portald: registry: %d datasets, %d snapshots created, %d reclaimed",
+		st.Registry.Datasets, st.Registry.SnapshotsCreated, st.Registry.SnapshotsReclaimed)
+}

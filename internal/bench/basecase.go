@@ -1,11 +1,9 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"time"
 
 	"portal/internal/codegen"
@@ -175,15 +173,12 @@ func CompareBaseCase(o Options, baseline []BaseCaseResult, tol float64, w io.Wri
 	return regs
 }
 
-// LoadBaseCaseBaseline reads a BENCH_basecase.json file.
+// LoadBaseCaseBaseline reads a BENCH_basecase.json file (enveloped or
+// legacy bare-array).
 func LoadBaseCaseBaseline(path string) ([]BaseCaseResult, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var baseline []BaseCaseResult
-	if err := json.Unmarshal(b, &baseline); err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	if err := loadBaseline(path, KindBaseCase, &baseline); err != nil {
+		return nil, err
 	}
 	if len(baseline) == 0 {
 		return nil, fmt.Errorf("bench: %s: empty baseline", path)

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline files carry an explicit experiment discriminator so the
+// regression gate dispatches loaders by content, not by filename
+// guessing:
+//
+//	{"experiment": "traverse", "results": [ ... rows ... ]}
+//
+// Legacy bare-array files (the pre-envelope format) still load — the
+// gate falls back to filename dispatch for those — but everything the
+// harness writes now is enveloped.
+
+// Envelope is the on-disk baseline wrapper.
+type Envelope struct {
+	Experiment string          `json:"experiment"`
+	Results    json.RawMessage `json:"results"`
+}
+
+// Baseline experiment kinds.
+const (
+	KindTreeBuild = "treebuild"
+	KindBaseCase  = "basecase"
+	KindTraverse  = "traverse"
+	KindServe     = "serve"
+)
+
+// MarshalBaseline renders results as an enveloped baseline document.
+func MarshalBaseline(experiment string, results any) ([]byte, error) {
+	raw, err := json.MarshalIndent(results, "  ", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(Envelope{Experiment: experiment, Results: raw}, "", "  ")
+}
+
+// BaselineKind reads just the discriminator of a baseline file:
+// the envelope's experiment, or "" for a legacy bare-array file.
+func BaselineKind(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		return "", nil
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return "", fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if env.Experiment == "" {
+		return "", fmt.Errorf("bench: %s: baseline has no experiment discriminator", path)
+	}
+	return env.Experiment, nil
+}
+
+// loadBaseline reads path into out, accepting both the enveloped
+// format (whose discriminator must equal kind) and the legacy bare
+// array.
+func loadBaseline(path, kind string, out any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	payload := b
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '[' {
+		var env Envelope
+		if err := json.Unmarshal(b, &env); err != nil {
+			return fmt.Errorf("bench: %s: %w", path, err)
+		}
+		if env.Experiment != kind {
+			return fmt.Errorf("bench: %s: baseline is a %q experiment, not %q",
+				path, env.Experiment, kind)
+		}
+		payload = env.Results
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return nil
+}

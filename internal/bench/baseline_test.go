@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBaselineEnvelopeRoundTrip writes an enveloped serve baseline and
+// reads it back through BaselineKind and the typed loader.
+func TestBaselineEnvelopeRoundTrip(t *testing.T) {
+	rows := []ServeResult{
+		{Problem: "knn", Mode: "inproc", N: 1000, Workers: 2, Clients: 8,
+			Requests: 96, P50NS: 1e6, P99NS: 3e6, QPS: 5000},
+	}
+	b, err := MarshalBaseline(KindServe, rows)
+	if err != nil {
+		t.Fatalf("MarshalBaseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kind, err := BaselineKind(path)
+	if err != nil {
+		t.Fatalf("BaselineKind: %v", err)
+	}
+	if kind != KindServe {
+		t.Fatalf("BaselineKind = %q, want %q", kind, KindServe)
+	}
+	got, err := LoadServeBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadServeBaseline: %v", err)
+	}
+	if len(got) != 1 || got[0] != rows[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestBaselineKindMismatch feeds one experiment's envelope to another
+// experiment's loader and requires a clear error naming both kinds.
+func TestBaselineKindMismatch(t *testing.T) {
+	b, err := MarshalBaseline(KindTraverse, []TraverseResult{{Problem: "kde", N: 100, Workers: 2, StealNS: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mislabeled.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadTreeBuildBaseline(path)
+	if err == nil {
+		t.Fatal("loading a traverse envelope as treebuild succeeded")
+	}
+	if !strings.Contains(err.Error(), `"traverse"`) || !strings.Contains(err.Error(), `"treebuild"`) {
+		t.Fatalf("mismatch error does not name both kinds: %v", err)
+	}
+}
+
+// TestBaselineLegacyBareArray keeps the pre-envelope format loading:
+// a bare JSON array has no discriminator (BaselineKind returns "") and
+// any typed loader accepts it.
+func TestBaselineLegacyBareArray(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	legacy := `[{"problem":"knn","dataset":"uniform","n":100,"workers":2,"steal_ns":5}]`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kind, err := BaselineKind(path)
+	if err != nil {
+		t.Fatalf("BaselineKind on legacy file: %v", err)
+	}
+	if kind != "" {
+		t.Fatalf("BaselineKind on legacy file = %q, want \"\"", kind)
+	}
+	got, err := LoadTraverseBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadTraverseBaseline on legacy file: %v", err)
+	}
+	if len(got) != 1 || got[0].StealNS != 5 {
+		t.Fatalf("legacy load mismatch: %+v", got)
+	}
+}
+
+// TestBaselineNoDiscriminator requires objects without an experiment
+// field to be rejected with a clear error, not silently misdispatched.
+func TestBaselineNoDiscriminator(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BaselineKind(path); err == nil {
+		t.Fatal("BaselineKind accepted an object with no experiment discriminator")
+	}
+}

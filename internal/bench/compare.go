@@ -1,10 +1,8 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"portal/internal/storage"
@@ -62,15 +60,12 @@ func CompareTreeBuild(o Options, baseline []TreeBuildResult, tol float64, w io.W
 	return regs
 }
 
-// LoadTreeBuildBaseline reads a BENCH_treebuild.json file.
+// LoadTreeBuildBaseline reads a BENCH_treebuild.json file (enveloped
+// or legacy bare-array).
 func LoadTreeBuildBaseline(path string) ([]TreeBuildResult, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var baseline []TreeBuildResult
-	if err := json.Unmarshal(b, &baseline); err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	if err := loadBaseline(path, KindTreeBuild, &baseline); err != nil {
+		return nil, err
 	}
 	if len(baseline) == 0 {
 		return nil, fmt.Errorf("bench: %s: empty baseline", path)

@@ -1,10 +1,8 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"portal/internal/codegen"
@@ -171,15 +169,12 @@ func CompareTraverse(o Options, baseline []TraverseResult, tol float64, w io.Wri
 	return regs
 }
 
-// LoadTraverseBaseline reads a BENCH_traverse.json file.
+// LoadTraverseBaseline reads a BENCH_traverse.json file (enveloped or
+// legacy bare-array).
 func LoadTraverseBaseline(path string) ([]TraverseResult, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var baseline []TraverseResult
-	if err := json.Unmarshal(b, &baseline); err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	if err := loadBaseline(path, KindTraverse, &baseline); err != nil {
+		return nil, err
 	}
 	if len(baseline) == 0 {
 		return nil, fmt.Errorf("bench: %s: empty baseline", path)

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"portal/internal/codegen"
+	"portal/internal/traverse"
+	"portal/internal/tree"
+)
+
+// BatchItem is one query of a serving tick: a compiled Problem bound
+// to a tree pair under a per-request config. Out (and Err) are filled
+// by ExecuteOnBatch.
+type BatchItem struct {
+	// P is the compiled problem (typically from a Cache).
+	P *Problem
+	// Qt and Rt are the trees to bind (Qt may equal Rt).
+	Qt, Rt *tree.Tree
+	// Cfg is the item's execution config. Parallel/Workers are
+	// ignored — the batch's shared budget governs — but stats, trace,
+	// and sink knobs apply per item.
+	Cfg Config
+	// Out receives the item's output.
+	Out *codegen.Output
+	// Err receives a per-item failure (nil on success).
+	Err error
+}
+
+// ExecuteOnBatch runs every item's traversal under one shared worker
+// budget — the serving tick. Each item is bound fresh (so items may
+// share Problems and trees freely under the ExecuteOn concurrency
+// contract), traversed via traverse.RunBatchParallel, then finalized
+// with its own Report assembled exactly as ExecuteOn would have. The
+// per-item Phases.Traversal is the item's own wall time inside the
+// batch, so p50/p99 latency splits back out per request.
+func ExecuteOnBatch(items []*BatchItem, workers int) {
+	if len(items) == 0 {
+		return
+	}
+	runs := make([]*codegen.Run, len(items))
+	tItems := make([]*traverse.BatchItem, len(items))
+	for i, it := range items {
+		run := it.P.Ex.Bind(it.Qt, it.Rt)
+		runs[i] = run
+		tItems[i] = &traverse.BatchItem{
+			Q:     it.Qt,
+			R:     it.Rt,
+			Rule:  run,
+			Stats: run.TraversalStats(),
+			Trace: it.Cfg.Trace,
+		}
+	}
+	traverse.RunBatchParallel(tItems, workers)
+	for i, it := range items {
+		// Report the batch's budget as the worker count: the item's
+		// traversal ran inside it.
+		cfg := it.Cfg
+		cfg.Parallel = workers > 1
+		cfg.Workers = workers
+		it.Out = it.P.finishRun(runs[i], it.Qt, it.Rt, cfg, 0, tItems[i].Wall, false)
+	}
+}

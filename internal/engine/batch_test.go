@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"portal/internal/tree"
+)
+
+// A batch tick must produce, per item, exactly what a standalone
+// ExecuteOn over the same trees produces — including per-item stats
+// and a per-item Report with the item's own traversal wall time.
+func TestExecuteOnBatchMatchesIndividualRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cfg := Config{LeafSize: 16, CollectStats: true}
+
+	specs := []struct {
+		name string
+		n    int
+	}{{"a", 200}, {"b", 300}, {"c", 150}, {"d", 250}}
+
+	items := make([]*BatchItem, len(specs))
+	wants := make([]int64, len(specs))
+	for i, s := range specs {
+		spec := selfJoinSpec(rng, s.n, 3)
+		p, err := Compile("nn-"+s.name, spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qt := tree.BuildKD(spec.Outer().Data, &tree.Options{LeafSize: cfg.LeafSize})
+		items[i] = &BatchItem{P: p, Qt: qt, Rt: qt, Cfg: cfg}
+
+		want, err := p.ExecuteOn(qt, qt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want.Stats.BaseCasePairs
+		// Stash the expected args on the item for comparison below.
+		items[i].Out = want
+	}
+	expected := make([][]int, len(items))
+	for i, it := range items {
+		expected[i] = it.Out.Args
+		it.Out = nil
+	}
+
+	ExecuteOnBatch(items, 4)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d failed: %v", i, it.Err)
+		}
+		if it.Out == nil {
+			t.Fatalf("item %d has no output", i)
+		}
+		if len(it.Out.Args) != len(expected[i]) {
+			t.Fatalf("item %d: %d args, want %d", i, len(it.Out.Args), len(expected[i]))
+		}
+		for q, a := range it.Out.Args {
+			if a != expected[i][q] {
+				t.Fatalf("item %d query %d: arg %d, want %d", i, q, a, expected[i][q])
+			}
+		}
+		if it.Out.Stats.BaseCasePairs != wants[i] {
+			t.Fatalf("item %d BaseCasePairs = %d, want %d (stats bled across batch items)",
+				i, it.Out.Stats.BaseCasePairs, wants[i])
+		}
+		if it.Out.Report == nil {
+			t.Fatalf("item %d missing Report", i)
+		}
+		if it.Out.Report.Phases.Traversal <= 0 {
+			t.Fatalf("item %d Report has no per-item traversal wall time", i)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"portal/internal/ir"
+	"portal/internal/lang"
+	"portal/internal/lower"
+	"portal/internal/stats"
+)
+
+// Cache is a compiled-problem cache for serving workloads: repeat
+// queries with the same shape skip the optimization passes and codegen
+// (finishCompile) entirely and go straight to Bind. The key is a
+// canonical hash of everything the back half of the pipeline reads —
+// the lowered IR program (via ir.Fingerprint), the operator pair and
+// reduction length, the kernel (whose printed name embeds its
+// parameters, e.g. GAUSSIAN(sigma=…)), the storage layouts and
+// dimensionality the passes specialize for, the approximation
+// threshold, and the codegen options. Lowering itself always runs — it
+// is cheap, validates the spec, and produces the program the key
+// hashes.
+//
+// A cached Problem is dataset-independent at execution time: ExecuteOn
+// reads point data only through the bound trees, and Plan.Spec's
+// storage references are consulted only by BuildTrees. Serving callers
+// therefore reuse one Problem across dataset replacements, binding
+// whatever snapshot's trees are current. (The exemplar spec's storages
+// stay reachable from the cached Plan — a bounded memory cost the
+// server accepts.)
+//
+// All methods are safe for concurrent use. A compile race (two misses
+// on the same key) runs the compile twice and keeps the first entry —
+// compiles are pure, so both results are interchangeable.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[string]*Problem
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty compiled-problem cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]*Problem)} }
+
+// Compile is the caching equivalent of engine.Compile: it returns the
+// compiled Problem for spec under cfg and whether it was served from
+// the cache.
+func (c *Cache) Compile(name string, spec *lang.PortalExpr, cfg Config) (*Problem, bool, error) {
+	plan, prog, err := lower.Lower(name, spec, lower.Options{Tau: cfg.Tau})
+	if err != nil {
+		return nil, false, err
+	}
+	key := cacheKey(plan, prog, spec, cfg)
+	c.mu.Lock()
+	p := c.m[key]
+	c.mu.Unlock()
+	if p != nil {
+		c.hits.Add(1)
+		return p, true, nil
+	}
+	c.misses.Add(1)
+	p, err = finishCompile(plan, prog, spec, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		p = prev
+	} else {
+		c.m[key] = p
+	}
+	c.mu.Unlock()
+	return p, false, nil
+}
+
+// cacheKey serializes every input the post-lowering pipeline depends
+// on. The IR fingerprint covers the program structure (including
+// storage-injection shape and folded kernel constants); the explicit
+// fields pin the plan metadata, layout/dimension specialization
+// context, and codegen knobs that select among compiled variants.
+func cacheKey(plan *lower.Plan, prog *ir.Program, spec *lang.PortalExpr, cfg Config) string {
+	outer, inner := spec.Outer(), spec.Inner()
+	return fmt.Sprintf("ir=%s|op=%v/%v|k=%d|kernel=%s|layout=%v/%v|d=%d|tau=%g|cg=%+v",
+		ir.Fingerprint(prog),
+		plan.OuterOp, plan.InnerOp, plan.K,
+		plan.Kernel.String(),
+		outer.Data.Layout(), inner.Data.Layout(),
+		outer.Data.Dim(),
+		plan.Tau,
+		cfg.codegenOpts())
+}
+
+// Counters snapshots the hit/miss counts for stats.Report surfacing.
+func (c *Cache) Counters() stats.CacheCounters {
+	return stats.CacheCounters{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len reports the number of cached compiled problems.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

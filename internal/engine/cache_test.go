@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/tree"
+)
+
+func selfJoinSpec(rng *rand.Rand, n, d int) *lang.PortalExpr {
+	data := randStorage(rng, n, d)
+	return (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, data, nil).
+		AddLayer(lang.ARGMIN, data, expr.NewDistanceKernel(geom.Euclidean))
+}
+
+func TestCacheHitSkipsCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	spec := selfJoinSpec(rng, 200, 3)
+	cfg := Config{LeafSize: 16}
+	c := NewCache()
+
+	p1, hit, err := c.Compile("nn", spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first compile reported a cache hit")
+	}
+	p2, hit, err := c.Compile("nn", spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("identical repeat compile missed the cache")
+	}
+	if p1 != p2 {
+		t.Fatal("cache hit returned a different Problem")
+	}
+	if got := c.Counters(); got.Hits != 1 || got.Misses != 1 {
+		t.Fatalf("counters = %+v, want hits=1 misses=1", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheKeyDistinguishesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := randStorage(rng, 200, 3)
+	c := NewCache()
+	base := Config{LeafSize: 16}
+
+	nn := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, data, nil).
+		AddLayer(lang.ARGMIN, data, expr.NewDistanceKernel(geom.Euclidean))
+	if _, _, err := c.Compile("nn", nn, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different kernel parameters print differently and must not
+	// collide.
+	for i, sigma := range []float64{0.5, 1.5} {
+		kde := (&lang.PortalExpr{}).
+			AddLayer(lang.FORALL, data, nil).
+			AddLayer(lang.SUM, data, expr.NewGaussianKernel(sigma))
+		_, hit, err := c.Compile("kde", kde, Config{LeafSize: 16, Tau: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("kde sigma=%g (entry %d) hit a stale cache entry", sigma, i)
+		}
+	}
+
+	// Codegen knobs select different compiled variants.
+	cfg := base
+	cfg.Codegen.NoFuse = true
+	if _, hit, err := c.Compile("nn", nn, cfg); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("NoFuse variant hit the fused entry")
+	}
+
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4 distinct shapes", c.Len())
+	}
+}
+
+// TestCacheSurvivesDatasetReplacement pins the serving property: the
+// key hashes problem shape (IR, ops, kernel, layout, d), not point
+// data, so replacing the dataset keeps the cache warm — and the cached
+// Problem executes correctly against trees built from the new data.
+func TestCacheSurvivesDatasetReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	c := NewCache()
+	cfg := Config{LeafSize: 16}
+
+	specA := selfJoinSpec(rng, 200, 3)
+	pA, _, err := c.Compile("nn", specA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specB := selfJoinSpec(rng, 300, 3)
+	pB, hit, err := c.Compile("nn", specB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("same-shape compile against a replacement dataset missed the cache")
+	}
+	if pA != pB {
+		t.Fatal("replacement dataset produced a distinct Problem")
+	}
+
+	// The cached Problem (compiled against specA) must answer specB's
+	// query exactly when bound to specB's trees.
+	qt := tree.BuildKD(specB.Outer().Data, &tree.Options{LeafSize: cfg.LeafSize})
+	got, err := pB.ExecuteOn(qt, qt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArgsEquivalent(t, specB, got, want)
+}

@@ -157,11 +157,26 @@ func finishCompile(plan *lower.Plan, prog *ir.Program, spec *lang.PortalExpr, cf
 // BuildTrees constructs the query and reference trees for the problem.
 // The -workers cap governs tree construction exactly as it governs the
 // traversal: Config.Workers is threaded through to tree.Options.
+//
+// When the outer and inner expressions reference the same Storage —
+// the self-join shape of knn, two-point correlation, and Barnes-Hut on
+// one dataset — and no reference weights force the trees apart, one
+// tree is built and returned as both qt and rt. The traversal never
+// mutates node geometry, so sharing is safe, and it halves build time
+// and arena memory for the most common query shape.
 func (p *Problem) BuildTrees(cfg Config) (qt, rt *tree.Tree) {
 	opts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Trace: cfg.Trace}
-	rOpts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Weights: cfg.Weights, Trace: cfg.Trace}
 	qData := p.Plan.Spec.Outer().Data
 	rData := p.Plan.Spec.Inner().Data
+	if qData == rData && cfg.Weights == nil {
+		if cfg.Tree == Octree {
+			qt = tree.BuildOct(qData, opts)
+		} else {
+			qt = tree.BuildKD(qData, opts)
+		}
+		return qt, qt
+	}
+	rOpts := &tree.Options{LeafSize: cfg.LeafSize, Parallel: cfg.Parallel, Workers: cfg.Workers, Weights: cfg.Weights, Trace: cfg.Trace}
 	if cfg.Tree == Octree {
 		qt = tree.BuildOct(qData, opts)
 		rt = tree.BuildOct(rData, rOpts)
@@ -184,29 +199,55 @@ func (p *Problem) Execute(cfg Config) (*codegen.Output, error) {
 // problems such as MST and EM rebuild state, not trees, each round).
 // The tree-build phase (and build task counters) of any attached
 // Report are zero.
+//
+// Concurrency contract: a Problem and the trees are immutable after
+// Compile/BuildTrees, and Bind allocates all per-run mutable state
+// (accumulators, k-lists, node bounds, scratch buffers) fresh for each
+// call — so any number of ExecuteOn calls may run concurrently over
+// the same Problem and the same (even shared qt == rt) trees. This is
+// the invariant the serving registry depends on. Two exceptions the
+// caller owns: Config.StatsSink is merged without synchronization, so
+// concurrent calls must not share one sink (give each call its own
+// Report, or none); and Config.Trace must be a concurrency-safe
+// recorder (trace.New's collector is; nil is). The qt == rt sharing
+// from BuildTrees is likewise safe: the traversal reads node geometry
+// only, and all writes land in per-run state keyed by query index.
 func (p *Problem) ExecuteOn(qt, rt *tree.Tree, cfg Config) (*codegen.Output, error) {
 	return p.executeOn(qt, rt, cfg, 0, false)
+}
+
+// traverseOptions maps the config (and a per-run stats accumulator)
+// onto the traversal runtime's options. A non-parallel config pins
+// Workers to 1 — the sequential path inside RunParallel — while still
+// recording the walk as one root span when tracing is on.
+func (c Config) traverseOptions(st *stats.TraversalStats) traverse.Options {
+	if !c.Parallel {
+		return traverse.Options{Workers: 1, Stats: st, Trace: c.Trace}
+	}
+	return traverse.Options{
+		Workers:        c.Workers,
+		Schedule:       c.Schedule,
+		BatchBaseCases: c.BatchBaseCases,
+		Stats:          st,
+		Trace:          c.Trace,
+	}
 }
 
 func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duration, builtHere bool) (*codegen.Output, error) {
 	run := p.Ex.Bind(qt, rt)
 	st := run.TraversalStats()
 	start := time.Now()
-	if cfg.Parallel {
-		traverse.RunParallel(qt, rt, run, traverse.Options{
-			Workers:        cfg.Workers,
-			Schedule:       cfg.Schedule,
-			BatchBaseCases: cfg.BatchBaseCases,
-			Stats:          st,
-			Trace:          cfg.Trace,
-		})
-	} else {
-		// Workers:1 takes the sequential path inside RunParallel while
-		// still recording the walk as one root span when tracing is on.
-		traverse.RunParallel(qt, rt, run, traverse.Options{Workers: 1, Stats: st, Trace: cfg.Trace})
-	}
+	traverse.RunParallel(qt, rt, run, cfg.traverseOptions(st))
 	traverseDur := time.Since(start)
-	start = time.Now()
+	return p.finishRun(run, qt, rt, cfg, buildDur, traverseDur, builtHere), nil
+}
+
+// finishRun finalizes a bound run and assembles its Report — the back
+// half of executeOn, shared with the batch execution path, which
+// traverses many runs under one worker budget and then finishes each
+// one here.
+func (p *Problem) finishRun(run *codegen.Run, qt, rt *tree.Tree, cfg Config, buildDur, traverseDur time.Duration, builtHere bool) *codegen.Output {
+	start := time.Now()
 	var ft *trace.Task
 	if cfg.Trace != nil {
 		ft = cfg.Trace.TaskBegin(trace.PhaseFinalize, 0)
@@ -231,12 +272,16 @@ func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duratio
 				Finalize:  time.Since(start),
 			},
 		}
-		if st != nil {
+		if st := run.TraversalStats(); st != nil {
 			rep.Traversal = *st
 		}
 		if builtHere {
 			rep.Build.Add(qt.Build)
-			rep.Build.Add(rt.Build)
+			if rt != qt {
+				// A shared self-join tree was built exactly once; count
+				// it once.
+				rep.Build.Add(rt.Build)
+			}
 		}
 		if cfg.Trace != nil {
 			// A cumulative snapshot of the recorder, not a per-round
@@ -248,7 +293,7 @@ func (p *Problem) executeOn(qt, rt *tree.Tree, cfg Config, buildDur time.Duratio
 			cfg.StatsSink.Merge(rep)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Rule exposes the generated prune/approximate rule (for reports).

@@ -1,0 +1,18 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a canonical content hash of the program — the
+// hex SHA-256 of its printed form. The printer walks the IR tree in a
+// fixed order with no map iteration, so two structurally identical
+// programs always print (and therefore hash) identically, and any
+// pass-visible difference — an extra statement, a folded constant, a
+// reduced strength — changes the digest. The engine's compiled-problem
+// cache uses this as the IR component of its key.
+func Fingerprint(p *Program) string {
+	sum := sha256.Sum256([]byte(p.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,23 @@
+package ir
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Fingerprint(sampleProgram())
+	b := Fingerprint(sampleProgram())
+	if a != b {
+		t.Fatalf("fingerprints of identical programs differ: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint length = %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestFingerprintDistinguishesPrograms(t *testing.T) {
+	base := Fingerprint(sampleProgram())
+	mod := sampleProgram()
+	mod.PruneApprox.Body = []Stmt{Return{E: Prop("PRUNE")}}
+	if got := Fingerprint(mod); got == base {
+		t.Fatalf("structurally different programs share fingerprint %s", got)
+	}
+}

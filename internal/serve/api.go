@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"portal/internal/storage"
+)
+
+// API endpoints:
+//
+//	PUT    /datasets/{name}   upload a dataset (CSV body, or a JSON
+//	                          array of rows with Content-Type
+//	                          application/json); builds the tree off
+//	                          to the side and swaps the head
+//	GET    /datasets          list dataset heads
+//	DELETE /datasets/{name}   drop a dataset head
+//	POST   /query             run a QueryRequest, returns QueryResponse
+//	GET    /stats             server stats (queries, batches, cache
+//	                          counters, registry refcounts)
+//	GET    /healthz           liveness
+//
+// Errors are JSON objects {"error": "..."} with a 4xx/5xx status.
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /datasets/{name}", s.handlePutDataset)
+	mux.HandleFunc("DELETE /datasets/{name}", s.handleDropDataset)
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty dataset name"))
+		return
+	}
+	var data *storage.Storage
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var rows [][]float64
+		if err := json.NewDecoder(r.Body).Decode(&rows); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad JSON rows: %w", err))
+			return
+		}
+		data, err = storage.FromRows(rows)
+	} else {
+		data, err = storage.ReadCSV(r.Body)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.PutDataset(name, data)
+	writeJSON(w, http.StatusOK, DatasetInfo{
+		Name:    snap.Name,
+		Version: snap.Version,
+		N:       snap.Data.Len(),
+		D:       snap.Data.Dim(),
+		Refs:    snap.Refs(),
+		BuildNS: snap.BuildNS,
+	})
+}
+
+func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.DropDataset(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown dataset %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats(true).Datasets)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad query: %w", err))
+		return
+	}
+	resp, err := s.Query(&req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown dataset") {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats(true))
+}

@@ -1,0 +1,112 @@
+// Package client is a thin Go client for the portald HTTP API,
+// sharing the wire types of internal/serve.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"portal/internal/serve"
+)
+
+// Client talks to one portald instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:7070"). httpClient nil means http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+func (c *Client) do(method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// PutDatasetCSV uploads a dataset as CSV.
+func (c *Client) PutDatasetCSV(name string, csv io.Reader) (serve.DatasetInfo, error) {
+	var info serve.DatasetInfo
+	err := c.do(http.MethodPut, "/datasets/"+name, "text/csv", csv, &info)
+	return info, err
+}
+
+// PutDatasetRows uploads a dataset as a JSON array of rows.
+func (c *Client) PutDatasetRows(name string, rows [][]float64) (serve.DatasetInfo, error) {
+	body, err := json.Marshal(rows)
+	if err != nil {
+		return serve.DatasetInfo{}, err
+	}
+	var info serve.DatasetInfo
+	err = c.do(http.MethodPut, "/datasets/"+name, "application/json", bytes.NewReader(body), &info)
+	return info, err
+}
+
+// DropDataset removes a dataset head.
+func (c *Client) DropDataset(name string) error {
+	return c.do(http.MethodDelete, "/datasets/"+name, "", nil, nil)
+}
+
+// Datasets lists the published dataset heads.
+func (c *Client) Datasets() ([]serve.DatasetInfo, error) {
+	var out []serve.DatasetInfo
+	err := c.do(http.MethodGet, "/datasets", "", nil, &out)
+	return out, err
+}
+
+// Query runs one query.
+func (c *Client) Query(req *serve.QueryRequest) (*serve.QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp serve.QueryResponse
+	if err := c.do(http.MethodPost, "/query", "application/json", bytes.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (serve.Stats, error) {
+	var st serve.Stats
+	err := c.do(http.MethodGet, "/stats", "", nil, &st)
+	return st, err
+}
+
+// Health checks liveness.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", "", nil, nil)
+}

@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"portal/internal/engine"
+	"portal/internal/lang"
+	"portal/internal/problems"
+	"portal/internal/stats"
+	"portal/internal/storage"
+	"portal/internal/trace"
+	"portal/internal/tree"
+)
+
+// Config tunes the server.
+type Config struct {
+	// LeafSize is the tree leaf capacity for dataset and query-point
+	// trees (default 32).
+	LeafSize int
+	// Workers is the traversal worker budget shared by each batch
+	// tick; 0 means GOMAXPROCS.
+	Workers int
+	// Tick is the batching window: after the first query of a tick
+	// arrives, the admitter collects further queries for this long
+	// (or until MaxBatch) before running them as one multi-traversal.
+	// Default 2ms.
+	Tick time.Duration
+	// MaxBatch caps queries per tick (default 64).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafSize <= 0 {
+		c.LeafSize = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Tick <= 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// QueryRequest is one query against a named dataset. Problem selects
+// the operator family: "knn" (K, default 1), "kde" (Sigma, default
+// Silverman's rule; Tau, default 1e-3), "rangesearch" (Lo, Hi), or
+// "2pc" (Radius; self-join only). Points, when present, are the query
+// points; when absent the query is the self-join of the dataset
+// against itself, binding the snapshot's tree on both sides with zero
+// per-request build work.
+type QueryRequest struct {
+	Dataset string      `json:"dataset"`
+	Problem string      `json:"problem"`
+	K       int         `json:"k,omitempty"`
+	Sigma   float64     `json:"sigma,omitempty"`
+	Tau     float64     `json:"tau,omitempty"`
+	Lo      float64     `json:"lo,omitempty"`
+	Hi      float64     `json:"hi,omitempty"`
+	Radius  float64     `json:"radius,omitempty"`
+	Points  [][]float64 `json:"points,omitempty"`
+	// Stats attaches the per-request stats.Report (with compile-cache
+	// counters) to the response.
+	Stats bool `json:"stats,omitempty"`
+	// Trace additionally captures a per-request execution trace
+	// profile on the report.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// QueryResponse carries one query's results. Exactly one result shape
+// is populated, per problem family (knn k=1: Args+Values; knn k>1:
+// ArgLists+ValueLists; kde: Values; rangesearch: ArgLists; 2pc:
+// Scalar).
+type QueryResponse struct {
+	Values     []float64   `json:"values,omitempty"`
+	Args       []int       `json:"args,omitempty"`
+	ArgLists   [][]int     `json:"arg_lists,omitempty"`
+	ValueLists [][]float64 `json:"value_lists,omitempty"`
+	Scalar     *float64    `json:"scalar,omitempty"`
+	// CacheHit reports whether the compiled problem came from the
+	// compiled-problem cache (Compile and codegen skipped).
+	CacheHit bool `json:"cache_hit"`
+	// DatasetVersion is the snapshot version the query ran against.
+	DatasetVersion int64 `json:"dataset_version"`
+	// BatchSize is the number of queries in the tick this one rode.
+	BatchSize int `json:"batch_size"`
+	// LatencyNS is the server-side latency: admission through
+	// finalize.
+	LatencyNS int64 `json:"latency_ns"`
+	// Report is the per-request observability report when requested.
+	Report *stats.Report `json:"report,omitempty"`
+}
+
+// DatasetInfo describes one published dataset head.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Version int64  `json:"version"`
+	N       int    `json:"n"`
+	D       int    `json:"d"`
+	Refs    int64  `json:"refs"`
+	BuildNS int64  `json:"build_ns"`
+}
+
+// Stats is the server's observability snapshot.
+type Stats struct {
+	Queries      int64               `json:"queries"`
+	Batches      int64               `json:"batches"`
+	CompileCache stats.CacheCounters `json:"compile_cache"`
+	Registry     RegistryStats       `json:"registry"`
+	Datasets     []DatasetInfo       `json:"dataset_list,omitempty"`
+}
+
+// pending is one admitted query waiting for its tick.
+type pending struct {
+	item  *engine.BatchItem
+	snap  *Snapshot
+	hit   bool
+	start time.Time
+	batch int
+	done  chan struct{}
+}
+
+// Server is the long-lived query engine: registry + compiled-problem
+// cache + batching executor. It serves in-process callers via Query
+// and HTTP callers via Handler (api.go).
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *engine.Cache
+
+	queue chan *pending
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	queries atomic.Int64
+	batches atomic.Int64
+}
+
+// NewServer starts a server (its batching goroutine runs until Close).
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		reg:   NewRegistry(),
+		cache: engine.NewCache(),
+		queue: make(chan *pending, 4*cfg.withDefaults().MaxBatch),
+		quit:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.batchLoop()
+	return s
+}
+
+// Registry exposes the snapshot registry (tests and the smoke driver
+// assert on its refcounts).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close stops admitting queries, runs any already-admitted ones, and
+// waits for the batcher to exit.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// PutDataset publishes data under name: builds the tree off to the
+// side (parallel, under the server's worker budget) and swaps the
+// head. Returns the new head snapshot.
+func (s *Server) PutDataset(name string, data *storage.Storage) *Snapshot {
+	start := time.Now()
+	t := tree.BuildKD(data, &tree.Options{
+		LeafSize: s.cfg.LeafSize,
+		Parallel: s.cfg.Workers > 1,
+		Workers:  s.cfg.Workers,
+	})
+	return s.reg.Put(name, data, t, time.Since(start).Nanoseconds())
+}
+
+// DropDataset removes name's head.
+func (s *Server) DropDataset(name string) bool { return s.reg.Drop(name) }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats(withDatasets bool) Stats {
+	st := Stats{
+		Queries:      s.queries.Load(),
+		Batches:      s.batches.Load(),
+		CompileCache: s.cache.Counters(),
+		Registry:     s.reg.Stats(),
+	}
+	if withDatasets {
+		for _, snap := range s.reg.List() {
+			st.Datasets = append(st.Datasets, DatasetInfo{
+				Name:    snap.Name,
+				Version: snap.Version,
+				N:       snap.Data.Len(),
+				D:       snap.Data.Dim(),
+				Refs:    snap.Refs(),
+				BuildNS: snap.BuildNS,
+			})
+		}
+	}
+	return st
+}
+
+// Query admits one request, waits for its tick to execute, and
+// returns the response. Safe for arbitrary concurrent use.
+func (s *Server) Query(req *QueryRequest) (*QueryResponse, error) {
+	start := time.Now()
+	snap, ok := s.reg.Acquire(req.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown dataset %q", req.Dataset)
+	}
+	defer snap.Release()
+
+	p, err := s.prepare(req, snap)
+	if err != nil {
+		return nil, err
+	}
+	p.start = start
+	p.snap = snap
+
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, fmt.Errorf("serve: server closed")
+	}
+	s.queue <- p
+	s.closeMu.RUnlock()
+
+	<-p.done
+	s.queries.Add(1)
+	if p.item.Err != nil {
+		return nil, p.item.Err
+	}
+	return s.respond(req, p)
+}
+
+// prepare resolves the request to a compiled problem bound to trees —
+// the front half of a query, off the batch path.
+func (s *Server) prepare(req *QueryRequest, snap *Snapshot) (*pending, error) {
+	var qd *storage.Storage
+	var qt *tree.Tree
+	selfJoin := len(req.Points) == 0
+	if selfJoin {
+		qd, qt = snap.Data, snap.Tree
+	} else {
+		var err error
+		qd, err = storage.FromRows(req.Points)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad query points: %w", err)
+		}
+		if qd.Dim() != snap.Data.Dim() {
+			return nil, fmt.Errorf("serve: query points are %d-dimensional, dataset %q is %d-dimensional",
+				qd.Dim(), snap.Name, snap.Data.Dim())
+		}
+		qt = tree.BuildKD(qd, &tree.Options{LeafSize: s.cfg.LeafSize})
+	}
+
+	cfg := engine.Config{LeafSize: s.cfg.LeafSize, CollectStats: req.Stats || req.Trace}
+	if req.Trace {
+		cfg.Trace = trace.New()
+	}
+
+	var spec *lang.PortalExpr
+	name := req.Problem
+	switch req.Problem {
+	case "knn":
+		k := req.K
+		if k <= 0 {
+			k = 1
+		}
+		spec = problems.KNNSpec(qd, snap.Data, k)
+	case "kde":
+		sigma := req.Sigma
+		if sigma <= 0 {
+			sigma = problems.SilvermanBandwidth(snap.Data)
+		}
+		cfg.Tau = req.Tau
+		if cfg.Tau <= 0 {
+			cfg.Tau = 1e-3
+		}
+		spec = problems.KDESpec(qd, snap.Data, sigma)
+	case "rangesearch":
+		if req.Hi <= req.Lo {
+			return nil, fmt.Errorf("serve: rangesearch needs lo < hi (got %g, %g)", req.Lo, req.Hi)
+		}
+		spec = problems.RangeSearchSpec(qd, snap.Data, req.Lo, req.Hi)
+	case "2pc":
+		if !selfJoin {
+			return nil, fmt.Errorf("serve: 2pc is a self-join; it takes no query points")
+		}
+		if req.Radius <= 0 {
+			return nil, fmt.Errorf("serve: 2pc needs radius > 0")
+		}
+		spec = problems.TwoPointSpec(snap.Data, req.Radius)
+	default:
+		return nil, fmt.Errorf("serve: unknown problem %q (want knn, kde, rangesearch, or 2pc)", req.Problem)
+	}
+
+	prob, hit, err := s.cache.Compile(name, spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &pending{
+		item: &engine.BatchItem{P: prob, Qt: qt, Rt: snap.Tree, Cfg: cfg},
+		hit:  hit,
+		done: make(chan struct{}),
+	}, nil
+}
+
+// respond assembles the wire response from a completed item.
+func (s *Server) respond(req *QueryRequest, p *pending) (*QueryResponse, error) {
+	out := p.item.Out
+	resp := &QueryResponse{
+		CacheHit:       p.hit,
+		DatasetVersion: p.snap.Version,
+		BatchSize:      p.batch,
+		LatencyNS:      time.Since(p.start).Nanoseconds(),
+	}
+	switch req.Problem {
+	case "knn":
+		if req.K <= 1 {
+			resp.Args, resp.Values = out.Args, out.Values
+		} else {
+			resp.ArgLists, resp.ValueLists = out.ArgLists, out.ValueLists
+		}
+	case "kde":
+		resp.Values = out.Values
+	case "rangesearch":
+		resp.ArgLists = out.ArgLists
+	case "2pc":
+		v := out.Scalar
+		resp.Scalar = &v
+	}
+	if (req.Stats || req.Trace) && out.Report != nil {
+		cc := s.cache.Counters()
+		out.Report.CompileCache = &cc
+		resp.Report = out.Report
+	}
+	return resp, nil
+}
+
+// batchLoop is the admission tick: the first admitted query opens a
+// window; further queries join until the window closes or the batch
+// fills; the whole tick runs as one multi-traversal over the shared
+// worker budget.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case p := <-s.queue:
+			s.collectAndRun(p)
+		case <-s.quit:
+			// Drain queries admitted before Close flipped the flag.
+			for {
+				select {
+				case p := <-s.queue:
+					s.collectAndRun(p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) collectAndRun(first *pending) {
+	batch := []*pending{first}
+	timer := time.NewTimer(s.cfg.Tick)
+collect:
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+		case <-timer.C:
+			break collect
+		}
+	}
+	timer.Stop()
+
+	items := make([]*engine.BatchItem, len(batch))
+	for i, p := range batch {
+		items[i] = p.item
+		p.batch = len(batch)
+	}
+	engine.ExecuteOnBatch(items, s.cfg.Workers)
+	s.batches.Add(1)
+	for _, p := range batch {
+		close(p.done)
+	}
+}

@@ -1,0 +1,148 @@
+// Command servesmoke is the end-to-end smoke test of the serving
+// path, run by `make serve-smoke`: it starts a real portald process,
+// uploads a 10k-point CSV, runs kde and knn queries twice each —
+// asserting the second of each hits the compiled-problem cache — then
+// drops the dataset asserting the registry's refcounts drain, and
+// shuts the server down cleanly. Exits non-zero on any failure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"portal/internal/serve"
+	"portal/internal/serve/client"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	portald := flag.String("portald", "", "path to the portald binary")
+	csvPath := flag.String("csv", "", "path to the dataset CSV to upload")
+	flag.Parse()
+	if *portald == "" || *csvPath == "" {
+		fail("both -portald and -csv are required")
+	}
+
+	cmd := exec.Command(*portald, "-addr", "127.0.0.1:0", "-workers", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fail("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fail("starting portald: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// portald prints "portald listening on <addr>" once bound.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		fail("portald never reported its listen address")
+	}
+	go func() { // drain any further output
+		for sc.Scan() {
+		}
+	}()
+
+	c := client.New("http://"+addr, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Health(); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			fail("server never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		fail("opening CSV: %v", err)
+	}
+	info, err := c.PutDatasetCSV("smoke", f)
+	f.Close()
+	if err != nil {
+		fail("uploading dataset: %v", err)
+	}
+	fmt.Printf("servesmoke: uploaded %q: n=%d d=%d version=%d build=%.2fms\n",
+		info.Name, info.N, info.D, info.Version, float64(info.BuildNS)/1e6)
+	if info.N < 10000 {
+		fail("expected a 10k-point dataset, got n=%d", info.N)
+	}
+
+	// kde and knn, twice each: the repeat must skip Compile.
+	for _, req := range []*serve.QueryRequest{
+		{Dataset: "smoke", Problem: "kde", Tau: 1e-3, Stats: true},
+		{Dataset: "smoke", Problem: "knn", K: 5, Stats: true},
+	} {
+		first, err := c.Query(req)
+		if err != nil {
+			fail("%s query: %v", req.Problem, err)
+		}
+		if first.CacheHit {
+			fail("first %s query reported a cache hit", req.Problem)
+		}
+		second, err := c.Query(req)
+		if err != nil {
+			fail("repeat %s query: %v", req.Problem, err)
+		}
+		if !second.CacheHit {
+			fail("repeat %s query did not hit the compiled-problem cache", req.Problem)
+		}
+		if second.Report == nil || second.Report.CompileCache == nil || second.Report.CompileCache.Hits < 1 {
+			fail("repeat %s query's report is missing compile-cache hit counters", req.Problem)
+		}
+		fmt.Printf("servesmoke: %s: first %.2fms (miss), repeat %.2fms (hit)\n",
+			req.Problem, float64(first.LatencyNS)/1e6, float64(second.LatencyNS)/1e6)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		fail("stats: %v", err)
+	}
+	if st.CompileCache.Hits < 2 {
+		fail("server stats report %d cache hits, want >= 2", st.CompileCache.Hits)
+	}
+
+	// Drop the dataset: with no in-flight queries the snapshot's
+	// refcount must drain immediately.
+	if err := c.DropDataset("smoke"); err != nil {
+		fail("dropping dataset: %v", err)
+	}
+	st, err = c.Stats()
+	if err != nil {
+		fail("stats after drop: %v", err)
+	}
+	if st.Registry.SnapshotsCreated != st.Registry.SnapshotsReclaimed {
+		fail("refcounts did not drain: %d snapshots created, %d reclaimed",
+			st.Registry.SnapshotsCreated, st.Registry.SnapshotsReclaimed)
+	}
+	fmt.Printf("servesmoke: refcounts drained (%d created, %d reclaimed)\n",
+		st.Registry.SnapshotsCreated, st.Registry.SnapshotsReclaimed)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fail("signalling portald: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fail("portald did not shut down cleanly: %v", err)
+	}
+	fmt.Println("servesmoke: PASS")
+}

@@ -201,6 +201,18 @@ func (s *TreeBuildStats) Add(o TreeBuildStats) {
 	s.InlineFallbacks += o.InlineFallbacks
 }
 
+// CacheCounters records compiled-problem cache behaviour: how many
+// executions reused a cached Executable (skipping the optimization
+// passes and codegen entirely) versus compiling fresh. Surfaced on
+// Report as an additive, omitempty field, so one-shot pipelines —
+// which never consult a cache — emit exactly the same JSON as before.
+type CacheCounters struct {
+	// Hits counts lookups served from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to run the full compile.
+	Misses int64 `json:"misses"`
+}
+
 // Phases is the wall-time breakdown of one execution. Durations
 // marshal as integer nanoseconds.
 type Phases struct {
@@ -256,6 +268,11 @@ type Report struct {
 	// recorder, so iterative problems carry the latest one rather than
 	// summing per round.
 	Trace *trace.Profile `json:"trace,omitempty"`
+	// CompileCache holds the compiled-problem cache counters when the
+	// execution went through an engine.Cache (the serving path); nil
+	// for one-shot compiles. A cumulative snapshot of the cache, not a
+	// per-run delta — Merge keeps the latest one.
+	CompileCache *CacheCounters `json:"compile_cache,omitempty"`
 }
 
 // Merge folds another execution's report into r; iterative problems
@@ -266,6 +283,9 @@ func (r *Report) Merge(o *Report) {
 	}
 	if o.Trace != nil {
 		r.Trace = o.Trace
+	}
+	if o.CompileCache != nil {
+		r.CompileCache = o.CompileCache
 	}
 	if o.Problem != "" && r.Problem == "" {
 		r.Problem = o.Problem
@@ -335,6 +355,9 @@ func (r *Report) String() string {
 	if b := r.Build; b.Workers > 0 {
 		s += fmt.Sprintf("\n  tree build: workers=%d tasks=%d (inline fallbacks: %d)",
 			b.Workers, b.TasksSpawned, b.InlineFallbacks)
+	}
+	if c := r.CompileCache; c != nil {
+		s += fmt.Sprintf("\n  compile cache: hits=%d misses=%d", c.Hits, c.Misses)
 	}
 	if r.Trace != nil {
 		s += "\n  " + strings.ReplaceAll(strings.TrimRight(r.Trace.String(), "\n"), "\n", "\n  ")

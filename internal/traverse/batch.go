@@ -1,0 +1,85 @@
+package traverse
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"portal/internal/stats"
+	"portal/internal/trace"
+	"portal/internal/tree"
+)
+
+// This file is the batch-tick substrate of the serving path: many
+// *independent* small traversals — one per admitted request — executed
+// under a single worker budget. It is deliberately not
+// RunMultiParallel, whose m-way cartesian traversal answers one
+// problem over m trees; a serving tick instead carries m unrelated
+// (query tree, reference tree, rule) triples whose outputs must stay
+// separate. Each item runs as its own RunParallel with a share of the
+// budget, so per-item stats, traces, and wall times split back out to
+// their requests for free.
+
+// BatchItem is one traversal of a batch: the tree pair, the bound
+// rule, and the item's private observers. Wall is filled with the
+// item's traversal wall time on completion.
+type BatchItem struct {
+	// Q and R are the item's trees (Q may equal R for self-joins).
+	Q, R *tree.Tree
+	// Rule is the item's bound traversal rule. Items must not share
+	// rules: each owns its per-run state.
+	Rule Rule
+	// Stats, when non-nil, receives this item's traversal statistics.
+	Stats *stats.TraversalStats
+	// Trace, when non-nil, records this item's spans. Distinct items
+	// may share one concurrency-safe recorder or carry private ones.
+	Trace trace.Recorder
+	// Options overrides for the item's traversal; zero values inherit
+	// the batch scheduler and the derived per-item worker share.
+	Schedule Schedule
+	// Wall is the item's traversal wall time, written on completion.
+	Wall time.Duration
+}
+
+// RunBatchParallel executes every item, running up to
+// min(len(items), workers) items concurrently and splitting the worker
+// budget evenly across the items in flight: each item's RunParallel
+// gets max(1, workers/inflight) workers, so a full tick of small
+// queries runs them one-worker-each side by side, while a near-empty
+// tick lets a single query fan out across the whole budget.
+// workers <= 0 means GOMAXPROCS. Blocks until every item completes.
+func RunBatchParallel(items []*BatchItem, workers int) {
+	if len(items) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	inflight := len(items)
+	if inflight > workers {
+		inflight = workers
+	}
+	share := workers / inflight
+	if share < 1 {
+		share = 1
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(it *BatchItem) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			RunParallel(it.Q, it.R, it.Rule, Options{
+				Workers:  share,
+				Schedule: it.Schedule,
+				Stats:    it.Stats,
+				Trace:    it.Trace,
+			})
+			it.Wall = time.Since(start)
+		}(it)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package traverse
+
+import (
+	"math/rand"
+	"testing"
+
+	"portal/internal/stats"
+)
+
+// A batch of independent traversals must cover each item's full pair
+// space exactly once (items never leak work into each other) and
+// split stats back out per item. Run with -race in the tier-1 gate,
+// this also pins that concurrent items over a shared reference tree
+// don't trample shared state.
+func TestRunBatchParallelIndependentItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shared := buildTree(rng, 300, 3, 8) // shared reference side
+	const nItems = 6
+	items := make([]*BatchItem, nItems)
+	rules := make([]*countRule, nItems)
+	for i := range items {
+		q := buildTree(rng, 100+17*i, 3, 8)
+		rules[i] = &countRule{q: q, r: shared, perQuery: make([]int64, q.Len()), postSeen: map[int]int{}}
+		items[i] = &BatchItem{Q: q, R: shared, Rule: rules[i], Stats: &stats.TraversalStats{}}
+	}
+	RunBatchParallel(items, 4)
+	for i, it := range items {
+		for qi, n := range rules[i].perQuery {
+			if n != int64(shared.Len()) {
+				t.Fatalf("item %d query %d saw %d reference points, want %d", i, qi, n, shared.Len())
+			}
+		}
+		if it.Stats.BaseCases == 0 {
+			t.Fatalf("item %d recorded no base cases in its private stats", i)
+		}
+		if it.Wall <= 0 {
+			t.Fatalf("item %d wall time not recorded", i)
+		}
+		// Full pair coverage split per item: BaseCasePairs is exactly
+		// this item's q×r product.
+		want := int64(rules[i].q.Len()) * int64(shared.Len())
+		if it.Stats.BaseCasePairs != want {
+			t.Fatalf("item %d BaseCasePairs = %d, want %d", i, it.Stats.BaseCasePairs, want)
+		}
+	}
+}
+
+// More items than workers must still complete them all, one worker
+// each, without deadlock.
+func TestRunBatchParallelMoreItemsThanWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	items := make([]*BatchItem, 9)
+	rules := make([]*countRule, len(items))
+	for i := range items {
+		tr := buildTree(rng, 60, 2, 8)
+		rules[i] = &countRule{q: tr, r: tr, perQuery: make([]int64, tr.Len()), postSeen: map[int]int{}}
+		items[i] = &BatchItem{Q: tr, R: tr, Rule: rules[i], Stats: &stats.TraversalStats{}}
+	}
+	RunBatchParallel(items, 2)
+	for i := range items {
+		for qi, n := range rules[i].perQuery {
+			if n != int64(rules[i].q.Len()) {
+				t.Fatalf("item %d query %d saw %d points, want %d", i, qi, n, rules[i].q.Len())
+			}
+		}
+	}
+}
