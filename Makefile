@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-serve bench-compare stats trace-smoke serve-smoke
+.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-serve bench-persist bench-compare stats trace-smoke serve-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
 check: build vet test race trace-smoke serve-smoke
@@ -14,10 +14,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The traversal, engine, tree build, and trace recorder are where
-# parallelism lives; run them under the race detector explicitly.
+# The traversal, engine, tree build, trace recorder, serving path, and
+# snapshot persistence are where parallelism (and shared mmap state)
+# lives; run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/... ./internal/serve/...
+	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/... ./internal/serve/... ./internal/persist/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -47,11 +48,18 @@ bench-traverse:
 bench-serve:
 	$(GO) run ./cmd/portalbench -experiment serve -scale 10000 -reps 3 -json BENCH_serve.json
 
+# Persistence benchmark: tree build vs checksummed snapshot save and
+# mmap load at 1e5/1e6 points (build-once/load-many economics of
+# portald -data-dir); writes BENCH_persist.json.
+bench-persist:
+	$(GO) run ./cmd/portalbench -experiment persist -reps 3 -json BENCH_persist.json
+
 # Regression gate: rerun the recorded BENCH_treebuild.json,
-# BENCH_basecase.json, BENCH_traverse.json, and BENCH_serve.json
-# configurations and fail on >25% regression in any.
+# BENCH_basecase.json, BENCH_traverse.json, BENCH_serve.json, and
+# BENCH_persist.json configurations and fail on >25% regression in any
+# (persistence gates on snapshot load time).
 bench-compare:
-	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json -scale 10000 -reps 3
+	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json,BENCH_persist.json -scale 10000 -reps 3
 
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000
@@ -67,10 +75,12 @@ trace-smoke:
 	$(GO) run ./internal/trace/tracecheck \
 		-trace /tmp/portal-trace-smoke/trace.json -stats /tmp/portal-trace-smoke/stats.json
 
-# End-to-end serving smoke test: start a real portald, upload a
-# 10k-point CSV, run kde+knn twice asserting the repeat hits the
-# compiled-problem cache, drop the dataset asserting the registry's
-# snapshot refcounts drain, and shut down cleanly.
+# End-to-end serving smoke test: start a real portald with a data
+# directory, upload a 10k-point CSV, run kde+knn twice asserting the
+# repeat hits the compiled-problem cache, exercise drop refcount
+# draining, then restart the process over the same data directory and
+# assert the dataset is restored (no upload, no rebuild) answering
+# identically.
 serve-smoke:
 	@mkdir -p /tmp/portal-serve-smoke
 	$(GO) run ./cmd/portalgen -dataset IHEPC -n 10000 -seed 1 -o /tmp/portal-serve-smoke/data.csv

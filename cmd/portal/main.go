@@ -28,6 +28,16 @@
 // and finalize spans plus per-depth decision profiles) and writes it
 // as Chrome trace-event JSON loadable in Perfetto or chrome://tracing;
 // -pprof DIR captures cpu.pprof and heap.pprof around the run.
+//
+// Tree persistence (see DESIGN §12):
+//
+//	portal save-tree -in data.csv -out data.snap [-leaf q]
+//	portal load-tree -in data.snap
+//
+// save-tree builds the kd-tree once and writes it as a checksummed
+// snapshot; load-tree mmaps a snapshot back (no rebuild) and prints
+// its shape, rejecting corrupt or version-skewed files with a typed
+// error.
 package main
 
 import (
@@ -39,16 +49,75 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"time"
 
+	"portal/internal/persist"
 	"portal/internal/problems"
 	"portal/internal/stats"
 	"portal/internal/storage"
 	"portal/internal/trace"
 	"portal/internal/traverse"
+	"portal/internal/tree"
 	"portal/nbody"
 )
 
+// saveTree is the `portal save-tree` subcommand: CSV in, snapshot out.
+func saveTree(args []string) {
+	fs := flag.NewFlagSet("save-tree", flag.ExitOnError)
+	in := fs.String("in", "", "input dataset CSV")
+	out := fs.String("out", "", "output snapshot path")
+	leaf := fs.Int("leaf", 32, "tree leaf size q")
+	seq := fs.Bool("seq", false, "disable parallel tree build")
+	workers := fs.Int("workers", 0, "cap build workers (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "portal save-tree: -in and -out are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	data, err := storage.FromCSV(*in)
+	fatal(err)
+	start := time.Now()
+	t := tree.BuildKD(data, &tree.Options{LeafSize: *leaf, Parallel: !*seq, Workers: *workers})
+	buildDur := time.Since(start)
+	fatal(persist.Save(*out, t))
+	st, err := os.Stat(*out)
+	fatal(err)
+	fmt.Printf("portal: saved %d points (%d-d, %d nodes, depth %d) to %s: %d bytes, built in %v\n",
+		t.Len(), t.Dim(), t.NodeCount, t.MaxDepth, *out, st.Size(), buildDur)
+}
+
+// loadTree is the `portal load-tree` subcommand: mmap a snapshot and
+// report its shape — the smoke check that a snapshot file is intact.
+func loadTree(args []string) {
+	fs := flag.NewFlagSet("load-tree", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot path")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "portal load-tree: -in is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	l, err := persist.Load(*in)
+	fatal(err)
+	defer l.Release()
+	t := l.Tree
+	fmt.Printf("portal: loaded %d points (%d-d, %d nodes, %d leaves, depth %d) from %s: %d bytes mapped in %v (no rebuild)\n",
+		t.Len(), t.Dim(), t.NodeCount, t.LeafCount, t.MaxDepth, *in, l.Size, time.Since(start))
+}
+
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "save-tree":
+			saveTree(os.Args[2:])
+			return
+		case "load-tree":
+			loadTree(os.Args[2:])
+			return
+		}
+	}
 	problem := flag.String("problem", "", "knn, rs, kde, hausdorff, 2pc, 3pc, mst, bh")
 	queryPath := flag.String("query", "", "query (or sole) dataset CSV")
 	refPath := flag.String("ref", "", "reference dataset CSV (defaults to -query)")

@@ -12,7 +12,8 @@
 //	portalbench -experiment basecase        # fused vs legacy base-case loops
 //	portalbench -experiment traverse        # steal vs spawn scheduler sweep
 //	portalbench -experiment serve           # portald p50/p99 latency and QPS
-//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json
+//	portalbench -experiment persist         # tree snapshot save/load vs rebuild
+//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json,BENCH_persist.json
 //	    # regression gate: rerun each named baseline, dispatched by the
 //	    # "experiment" discriminator embedded in the file (legacy
 //	    # bare-array files fall back to filename matching). A baseline
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, serve, stats, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, serve, persist, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
@@ -55,7 +56,7 @@ func main() {
 	statsFlag := flag.Bool("stats", false,
 		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable JSON to this file (any experiment)")
-	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json, BENCH_basecase.json, BENCH_traverse.json, and/or BENCH_serve.json); exits non-zero on >25% regression or any baseline load failure")
+	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json, BENCH_basecase.json, BENCH_traverse.json, BENCH_serve.json, and/or BENCH_persist.json); exits non-zero on >25% regression or any baseline load failure")
 	traceOut := flag.String("trace", "", "write an execution trace of the Portal-side runs (Chrome trace-event JSON) to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	flag.Parse()
@@ -141,6 +142,8 @@ func main() {
 					kind = bench.KindBaseCase
 				case strings.Contains(base, "serve"):
 					kind = bench.KindServe
+				case strings.Contains(base, "persist"):
+					kind = bench.KindPersist
 				default:
 					kind = bench.KindTreeBuild
 				}
@@ -187,6 +190,17 @@ func main() {
 				}
 				fmt.Printf("== Serving-path regression gate vs %s (p50, tolerance 25%%) ==\n", path)
 				regs := bench.CompareServe(o, baseline, 0.25, os.Stdout)
+				gates[path] = regs
+				regressed += len(regs)
+				total += len(baseline)
+			case bench.KindPersist:
+				baseline, err := bench.LoadPersistBaseline(path)
+				if err != nil {
+					loadFailed(path, err)
+					continue
+				}
+				fmt.Printf("== Persistence regression gate vs %s (load time, tolerance 25%%) ==\n", path)
+				regs := bench.ComparePersist(o, baseline, 0.25, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -269,6 +283,10 @@ func main() {
 		fmt.Println("== Serving path (p50/p99 latency and QPS vs workers) ==")
 		jsonOut = bench.Serve(o, os.Stdout)
 		jsonKind = bench.KindServe
+	case "persist":
+		fmt.Println("== Tree persistence (snapshot save/load vs rebuild) ==")
+		jsonOut = bench.Persist(o, os.Stdout)
+		jsonKind = bench.KindPersist
 	case "treebuild":
 		fmt.Println("== Tree construction (serial vs parallel arena build) ==")
 		results := bench.TreeBuild(o, *workers, os.Stdout)

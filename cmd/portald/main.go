@@ -30,14 +30,34 @@ func main() {
 	leaf := flag.Int("leaf", 32, "tree leaf capacity")
 	tick := flag.Duration("tick", 2*time.Millisecond, "query batching window")
 	maxBatch := flag.Int("max-batch", 64, "max queries per batch tick")
+	dataDir := flag.String("data-dir", "", "dataset snapshot directory: published datasets persist here and are mmap-restored on restart without rebuilding trees")
 	flag.Parse()
 
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("portald: data dir: %v", err)
+		}
+	}
 	srv := serve.NewServer(serve.Config{
 		LeafSize: *leaf,
 		Workers:  *workers,
 		Tick:     *tick,
 		MaxBatch: *maxBatch,
+		DataDir:  *dataDir,
 	})
+	if *dataDir != "" {
+		start := time.Now()
+		n, err := srv.LoadDataDir()
+		if err != nil {
+			// Degraded restart: the intact datasets are up; the corrupt
+			// ones are reported and skipped, never served wrong.
+			log.Printf("portald: warm restart: %v", err)
+		}
+		if n > 0 {
+			log.Printf("portald: warm restart: %d dataset(s) restored from %s in %v (no tree rebuilds)",
+				n, *dataDir, time.Since(start))
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

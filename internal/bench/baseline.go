@@ -29,6 +29,7 @@ const (
 	KindBaseCase  = "basecase"
 	KindTraverse  = "traverse"
 	KindServe     = "serve"
+	KindPersist   = "persist"
 )
 
 // MarshalBaseline renders results as an enveloped baseline document.

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"portal/internal/persist"
+	"portal/internal/tree"
+)
+
+// This file benchmarks tree persistence (internal/persist): the
+// build-once/load-many economics behind portald -data-dir. Each scale
+// measures the full kd-tree build (the work a warm restart skips), one
+// snapshot save, and repeated mmap loads; Speedup is build time over
+// load time — the acceptance floor for the warm-restart path is 10×.
+
+// persistScales are the measured dataset sizes. Fixed rather than
+// o.Scale-derived: load cost is dominated by O(NodeCount) arena
+// reconstruction, so the interesting question — does the speedup hold
+// as N grows past cache sizes — needs absolute scales.
+var persistScales = []int{100_000, 1_000_000}
+
+const persistDim = 3
+
+// PersistResult is one scale's measurement (the BENCH_persist.json
+// row format).
+type PersistResult struct {
+	N     int   `json:"n"`
+	D     int   `json:"d"`
+	Bytes int64 `json:"bytes"` // snapshot file size
+	// BuildNS is the kd-tree build wall time (parallel, o.Workers).
+	BuildNS int64 `json:"build_ns"`
+	// SaveNS is the checksummed atomic snapshot write.
+	SaveNS int64 `json:"save_ns"`
+	// LoadNS is the mmap load (min over reps): validation + zero-copy
+	// section aliasing + node-arena reconstruction, no tree rebuild.
+	LoadNS int64 `json:"load_ns"`
+	// Speedup is BuildNS / LoadNS — what a warm restart saves.
+	Speedup float64 `json:"speedup"`
+}
+
+// Persist measures every scale and reports rows to w.
+func Persist(o Options, w io.Writer) []PersistResult {
+	o = o.fill()
+	results := make([]PersistResult, 0, len(persistScales))
+	for _, n := range persistScales {
+		r := measurePersist(o, n)
+		results = append(results, r)
+		if w != nil {
+			fmt.Fprintf(w, "N=%-8d D=%d %8.1f MB build=%-12v save=%-12v load=%-12v speedup=%.0fx\n",
+				r.N, r.D, float64(r.Bytes)/(1<<20),
+				time.Duration(r.BuildNS), time.Duration(r.SaveNS), time.Duration(r.LoadNS), r.Speedup)
+		}
+	}
+	return results
+}
+
+// measurePersist runs one scale: build once, save once, load reps
+// times keeping the fastest load.
+func measurePersist(o Options, n int) PersistResult {
+	o = o.fill()
+	data := normalND(n, persistDim, o.Seed)
+
+	start := time.Now()
+	t := tree.BuildKD(data, &tree.Options{
+		LeafSize: o.LeafSize,
+		Parallel: o.Parallel,
+		Workers:  o.Workers,
+	})
+	buildNS := time.Since(start).Nanoseconds()
+
+	dir, err := os.MkdirTemp("", "portal-bench-persist")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "tree.snap")
+
+	start = time.Now()
+	if err := persist.Save(path, t); err != nil {
+		panic(err)
+	}
+	saveNS := time.Since(start).Nanoseconds()
+	st, err := os.Stat(path)
+	if err != nil {
+		panic(err)
+	}
+
+	reps := o.Reps
+	if reps < 3 {
+		reps = 3
+	}
+	var loadNS int64
+	for i := 0; i < reps; i++ {
+		start = time.Now()
+		l, err := persist.Load(path)
+		if err != nil {
+			panic(err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		// Touch the loaded tree so a lazily-faulted mapping cannot
+		// report a load it never actually performed.
+		if l.Tree.Len() != n || l.Tree.NodeCount != t.NodeCount {
+			panic(fmt.Sprintf("bench: persist round-trip mismatch at N=%d", n))
+		}
+		if err := l.Release(); err != nil {
+			panic(err)
+		}
+		if i == 0 || ns < loadNS {
+			loadNS = ns
+		}
+	}
+
+	speedup := 0.0
+	if loadNS > 0 {
+		speedup = float64(buildNS) / float64(loadNS)
+	}
+	return PersistResult{
+		N: n, D: persistDim, Bytes: st.Size(),
+		BuildNS: buildNS, SaveNS: saveNS, LoadNS: loadNS, Speedup: speedup,
+	}
+}
+
+// PersistRegression is one scale whose snapshot load got slower than
+// the stored baseline allows.
+type PersistRegression struct {
+	N          int     `json:"n"`
+	BaselineNS int64   `json:"baseline_ns"`
+	CurrentNS  int64   `json:"current_ns"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// persistSlackNS is the absolute-noise floor for the load-time gate:
+// a configuration only counts as regressed when it is both tol slower
+// in relative terms AND more than this much slower in absolute terms.
+// Small-N loads complete in a couple of milliseconds, where scheduler
+// and page-cache jitter on a shared machine routinely exceeds 25%; an
+// absolute slack keeps the gate meaningful (a real 25% regression at
+// 1e6 is ~5ms, well past the slack) without flapping on micro-timings.
+const persistSlackNS = 2_000_000 // 2ms
+
+// ComparePersist reruns every scale recorded in baseline and flags the
+// ones whose load time regressed by more than tol (0.25 = 25% slower)
+// beyond the absolute persistSlackNS noise floor. Load — not build —
+// is the gated metric: build time is the tree builder's to defend,
+// while a load regression means the zero-deserialization property is
+// eroding. Per-scale verdicts go to w when non-nil.
+func ComparePersist(o Options, baseline []PersistResult, tol float64, w io.Writer) []PersistRegression {
+	var regs []PersistRegression
+	for _, base := range baseline {
+		cur := measurePersist(o, base.N)
+		ratio := float64(cur.LoadNS) / float64(base.LoadNS)
+		verdict := "ok"
+		if ratio > 1+tol && cur.LoadNS-base.LoadNS > persistSlackNS {
+			verdict = "REGRESSION"
+			regs = append(regs, PersistRegression{
+				N: base.N, BaselineNS: base.LoadNS, CurrentNS: cur.LoadNS, Ratio: ratio,
+			})
+		}
+		if w != nil {
+			fmt.Fprintf(w, "N=%-8d baseline=%-12v current=%-12v ratio=%.2f %s\n",
+				base.N, time.Duration(base.LoadNS), time.Duration(cur.LoadNS), ratio, verdict)
+		}
+	}
+	return regs
+}
+
+// LoadPersistBaseline reads a BENCH_persist.json file (enveloped or
+// legacy bare-array).
+func LoadPersistBaseline(path string) ([]PersistResult, error) {
+	var baseline []PersistResult
+	if err := loadBaseline(path, KindPersist, &baseline); err != nil {
+		return nil, err
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("bench: %s: empty baseline", path)
+	}
+	return baseline, nil
+}

@@ -87,7 +87,9 @@ func measureServe(o Options, problem, mode string, n, workers int) ServeResult {
 	o = o.fill()
 	s := serve.NewServer(serve.Config{LeafSize: o.LeafSize, Workers: workers})
 	defer s.Close()
-	s.PutDataset("bench", normalND(n, 3, o.Seed))
+	if _, err := s.PutDataset("bench", normalND(n, 3, o.Seed)); err != nil {
+		panic(err)
+	}
 
 	// Per-client query points: distinct slices of one deterministic
 	// pool, reused across that client's requests.

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"portal/internal/codegen"
 	"portal/internal/traverse"
 	"portal/internal/tree"
@@ -20,8 +22,46 @@ type BatchItem struct {
 	Cfg Config
 	// Out receives the item's output.
 	Out *codegen.Output
-	// Err receives a per-item failure (nil on success).
+	// Err receives a per-item failure (nil on success). A failed item
+	// never aborts its batch: the other items still run and finish.
 	Err error
+}
+
+// validate checks the item's tree pair against what its Problem was
+// compiled for, before Bind can touch either tree. The compiled
+// executable is specialized on dimensionality and storage layout, and
+// a self-join spec (outer and inner read the same storage, e.g. 2pc)
+// produces kernels that assume both sides index one point set — a
+// mismatched binding would read out of bounds or silently double-count
+// rather than fail cleanly, so every compatibility rule is enforced
+// here as a typed per-item error.
+func (it *BatchItem) validate() error {
+	switch {
+	case it.P == nil:
+		return fmt.Errorf("engine: batch item has no compiled problem")
+	case it.Qt == nil || it.Rt == nil:
+		return fmt.Errorf("engine: batch item has unbound trees")
+	}
+	spec := it.P.Plan.Spec
+	d := spec.Outer().Data.Dim()
+	if it.Qt.Dim() != it.Rt.Dim() {
+		return fmt.Errorf("engine: batch item binds a %d-dimensional query tree to a %d-dimensional reference tree",
+			it.Qt.Dim(), it.Rt.Dim())
+	}
+	if it.Qt.Dim() != d {
+		return fmt.Errorf("engine: batch item binds %d-dimensional trees to a problem compiled for %d dimensions",
+			it.Qt.Dim(), d)
+	}
+	if ql, wl := it.Qt.Data.Layout(), spec.Outer().Data.Layout(); ql != wl {
+		return fmt.Errorf("engine: batch item query layout %v, problem compiled for %v", ql, wl)
+	}
+	if rl, wl := it.Rt.Data.Layout(), spec.Inner().Data.Layout(); rl != wl {
+		return fmt.Errorf("engine: batch item reference layout %v, problem compiled for %v", rl, wl)
+	}
+	if spec.Outer().Data == spec.Inner().Data && it.Qt != it.Rt {
+		return fmt.Errorf("engine: problem %q is a self-join; batch item must bind the same tree on both sides", it.P.Plan.Name)
+	}
+	return nil
 }
 
 // ExecuteOnBatch runs every item's traversal under one shared worker
@@ -31,30 +71,63 @@ type BatchItem struct {
 // with its own Report assembled exactly as ExecuteOn would have. The
 // per-item Phases.Traversal is the item's own wall time inside the
 // batch, so p50/p99 latency splits back out per request.
+//
+// Failures are strictly per item: an item that fails validation, or
+// whose bind/traversal/finalize panics, gets its Err set and its
+// batch-mates run to completion unharmed.
 func ExecuteOnBatch(items []*BatchItem, workers int) {
 	if len(items) == 0 {
 		return
 	}
 	runs := make([]*codegen.Run, len(items))
-	tItems := make([]*traverse.BatchItem, len(items))
+	tItems := make([]*traverse.BatchItem, 0, len(items))
+	live := make([]int, 0, len(items))
 	for i, it := range items {
-		run := it.P.Ex.Bind(it.Qt, it.Rt)
-		runs[i] = run
-		tItems[i] = &traverse.BatchItem{
+		it.Out, it.Err = nil, nil
+		if err := it.validate(); err != nil {
+			it.Err = err
+			continue
+		}
+		if err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("engine: batch item bind panicked: %v", r)
+				}
+			}()
+			runs[i] = it.P.Ex.Bind(it.Qt, it.Rt)
+			return nil
+		}(); err != nil {
+			it.Err = err
+			continue
+		}
+		tItems = append(tItems, &traverse.BatchItem{
 			Q:     it.Qt,
 			R:     it.Rt,
-			Rule:  run,
-			Stats: run.TraversalStats(),
+			Rule:  runs[i],
+			Stats: runs[i].TraversalStats(),
 			Trace: it.Cfg.Trace,
-		}
+		})
+		live = append(live, i)
 	}
 	traverse.RunBatchParallel(tItems, workers)
-	for i, it := range items {
+	for j, i := range live {
+		it := items[i]
+		if err := tItems[j].Err; err != nil {
+			it.Err = fmt.Errorf("engine: batch item traversal failed: %w", err)
+			continue
+		}
 		// Report the batch's budget as the worker count: the item's
 		// traversal ran inside it.
 		cfg := it.Cfg
 		cfg.Parallel = workers > 1
 		cfg.Workers = workers
-		it.Out = it.P.finishRun(runs[i], it.Qt, it.Rt, cfg, 0, tItems[i].Wall, false)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					it.Err = fmt.Errorf("engine: batch item finalize panicked: %v", r)
+				}
+			}()
+			it.Out = it.P.finishRun(runs[i], it.Qt, it.Rt, cfg, 0, tItems[j].Wall, false)
+		}()
 	}
 }

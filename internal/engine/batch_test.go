@@ -72,3 +72,61 @@ func TestExecuteOnBatchMatchesIndividualRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestExecuteOnBatchPoisonedItems pins the serving-path bugfix: a
+// batch item bound incompatibly with its compiled problem gets its
+// Err set (it used to run anyway — out-of-bounds reads or silent
+// garbage) while every healthy batch-mate still completes.
+func TestExecuteOnBatchPoisonedItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	cfg := Config{LeafSize: 16}
+
+	spec3 := selfJoinSpec(rng, 200, 3)
+	p3, err := Compile("nn3", spec3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt3 := tree.BuildKD(spec3.Outer().Data, &tree.Options{LeafSize: cfg.LeafSize})
+
+	spec2 := selfJoinSpec(rng, 150, 2)
+	qt2 := tree.BuildKD(spec2.Outer().Data, &tree.Options{LeafSize: cfg.LeafSize})
+	otherQt3 := tree.BuildKD(randStorage(rng, 120, 3), &tree.Options{LeafSize: cfg.LeafSize})
+
+	want, err := p3.ExecuteOn(qt3, qt3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	items := []*BatchItem{
+		{P: p3, Qt: qt3, Rt: qt3, Cfg: cfg},      // healthy
+		{P: p3, Qt: qt2, Rt: qt2, Cfg: cfg},      // 2-d trees on a 3-d problem
+		{P: p3, Qt: otherQt3, Rt: qt3, Cfg: cfg}, // self-join bound to two trees
+		{P: p3, Qt: nil, Rt: qt3, Cfg: cfg},      // unbound query tree
+		{P: nil, Qt: qt3, Rt: qt3, Cfg: cfg},     // no compiled problem
+		{P: p3, Qt: qt3, Rt: qt3, Cfg: cfg},      // healthy again
+	}
+	ExecuteOnBatch(items, 2)
+
+	for _, i := range []int{1, 2, 3, 4} {
+		if items[i].Err == nil {
+			t.Fatalf("poisoned item %d reported no error", i)
+		}
+		if items[i].Out != nil {
+			t.Fatalf("poisoned item %d produced output alongside its error", i)
+		}
+	}
+	for _, i := range []int{0, 5} {
+		it := items[i]
+		if it.Err != nil {
+			t.Fatalf("healthy item %d failed: %v", i, it.Err)
+		}
+		if it.Out == nil || len(it.Out.Args) != len(want.Args) {
+			t.Fatalf("healthy item %d output damaged by poisoned batch-mates", i)
+		}
+		for q, a := range it.Out.Args {
+			if a != want.Args[q] {
+				t.Fatalf("healthy item %d query %d: arg %d, want %d", i, q, a, want.Args[q])
+			}
+		}
+	}
+}

@@ -90,6 +90,49 @@ func TestCacheKeyDistinguishesShapes(t *testing.T) {
 	}
 }
 
+// TestCacheLRUEviction pins the bounded-cache contract: a full cache
+// evicts the least-recently-hit shape, counts the eviction, and keeps
+// recently-touched entries live.
+func TestCacheLRUEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	data := randStorage(rng, 150, 3)
+	c := NewCacheSize(2)
+	cfg := Config{LeafSize: 16, Tau: 1e-3}
+
+	kde := func(sigma float64) *lang.PortalExpr {
+		return (&lang.PortalExpr{}).
+			AddLayer(lang.FORALL, data, nil).
+			AddLayer(lang.SUM, data, expr.NewGaussianKernel(sigma))
+	}
+	compile := func(sigma float64) bool {
+		t.Helper()
+		_, hit, err := c.Compile("kde", kde(sigma), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+
+	compile(0.5) // cache: [0.5]
+	compile(1.0) // cache: [1.0, 0.5]
+	if !compile(0.5) {
+		t.Fatal("warm entry missed before any eviction")
+	} // cache: [0.5, 1.0]
+	compile(2.0) // full: must evict 1.0 — the least recently hit
+	if got := c.Counters(); got.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", got.Evictions)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want its cap of 2", c.Len())
+	}
+	if !compile(0.5) {
+		t.Fatal("recently-hit entry was evicted instead of the LRU one")
+	}
+	if compile(1.0) {
+		t.Fatal("least-recently-hit entry survived eviction")
+	}
+}
+
 // TestCacheSurvivesDatasetReplacement pins the serving property: the
 // key hashes problem shape (IR, ops, kernel, layout, d), not point
 // data, so replacing the dataset keeps the cache warm — and the cached

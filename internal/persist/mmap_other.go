@@ -1,0 +1,27 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// mapping abstracts how snapshot bytes are held: a real read-only mmap
+// on unix, a heap copy elsewhere.
+type mapping interface {
+	close() error
+}
+
+type heapMapping struct{}
+
+func (*heapMapping) close() error { return nil }
+
+// openMapping reads the whole file on platforms without syscall.Mmap.
+// Loads still alias sections zero-copy out of the one heap buffer; only
+// the kernel-backed paging (and the datasets-larger-than-RAM story) is
+// lost.
+func openMapping(path string) (mapping, []byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &heapMapping{}, b, nil
+}

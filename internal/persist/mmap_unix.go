@@ -1,0 +1,62 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping abstracts how snapshot bytes are held: a real read-only mmap
+// on unix, a heap copy elsewhere.
+type mapping interface {
+	close() error
+}
+
+type mmapMapping struct {
+	data []byte
+}
+
+func (m *mmapMapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// openMapping maps path read-only. A read-only mapping doubles as a
+// guard: any accidental write through an aliased slice faults instead
+// of silently corrupting the snapshot shared with other loads.
+func openMapping(path string) (mapping, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// Zero-length mmap is invalid; an empty file is simply truncated.
+		return &heapMapping{}, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("snapshot too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap %s: %w", path, err)
+	}
+	return &mmapMapping{data: data}, data, nil
+}
+
+// heapMapping is the degenerate mapping for empty files (and the
+// non-unix fallback's type).
+type heapMapping struct{}
+
+func (*heapMapping) close() error { return nil }

@@ -1,0 +1,499 @@
+// Package persist is the on-disk snapshot format for built trees: a
+// versioned, checksummed serialization of a tree.Tree arena plus its
+// reordered storage, written as contiguous little-endian sections
+// behind an offset-table header and loaded by mmap'ing the file and
+// aliasing the coordinate, point, index, and weight buffers directly
+// onto the mapping — zero-copy, no gather or fixup pass. Only the
+// O(NodeCount) Node header arena is rebuilt at load (Go structs with
+// slice views cannot live on disk); the O(N·D) payload never moves.
+//
+// The format follows the immutable bottoms-up snapshot pattern: a
+// snapshot is written once (temp file + fsync + atomic rename, so a
+// crash mid-write never leaves a torn file under the final name) and
+// then only ever read. Every section carries a CRC-32C; corrupt,
+// truncated, wrong-endian, and version-skewed files are rejected with
+// typed errors (ErrChecksum, ErrTruncated, ErrEndian, ErrVersion) —
+// never a panic — before any byte of the payload is trusted.
+//
+// File layout (all fixed-width fields little-endian):
+//
+//	offset  size  field
+//	0       8     magic "PRTLSNAP"
+//	8       4     format version (uint32, currently 1)
+//	12      4     endianness marker 0x01020304
+//	16      48    metadata: n, nodeCount (uint64); d, layout, leafSize,
+//	              flags (uint32); leafCount (uint64); maxDepth,
+//	              sectionCount (uint32)
+//	64      24·k  section table: k × {id, crc32c (uint32); offset,
+//	              length (uint64)}
+//	…       4     header CRC-32C (over bytes [16, 64+24·k))
+//	…       —     8-byte-aligned sections
+//
+// Sections: parent (int32), depth (int32), begin (int64), end (int64),
+// mass (float64), coords (float64, 4·d per node), points (float64,
+// n·d in the recorded layout), index (int64), weights (float64,
+// present iff flags bit 0).
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"unsafe"
+
+	"portal/internal/storage"
+	"portal/internal/tree"
+)
+
+// Format constants.
+const (
+	// Magic identifies a Portal tree snapshot file.
+	Magic = "PRTLSNAP"
+	// Version is the current format version.
+	Version = 1
+
+	endianMarker uint32 = 0x01020304
+	prologueSize        = 16 // magic + version + endian marker
+	metaSize            = 48
+	sectionEntry        = 24
+)
+
+// Typed validation errors. Load failures wrap exactly one of these, so
+// callers dispatch with errors.Is.
+var (
+	// ErrNotSnapshot marks a file without the snapshot magic.
+	ErrNotSnapshot = errors.New("persist: not a portal snapshot")
+	// ErrVersion marks a snapshot written by an incompatible format
+	// version.
+	ErrVersion = errors.New("persist: unsupported snapshot version")
+	// ErrEndian marks a snapshot whose byte order does not match this
+	// host (or a big-endian host, which the zero-copy format does not
+	// support).
+	ErrEndian = errors.New("persist: endianness mismatch")
+	// ErrTruncated marks a file shorter than its header claims.
+	ErrTruncated = errors.New("persist: truncated snapshot")
+	// ErrChecksum marks a section whose CRC-32C does not match.
+	ErrChecksum = errors.New("persist: checksum mismatch")
+	// ErrCorrupt marks a structurally invalid snapshot (bad metadata,
+	// impossible section sizes, broken tree invariants).
+	ErrCorrupt = errors.New("persist: corrupt snapshot")
+)
+
+// Section ids.
+const (
+	secParent uint32 = 1 + iota
+	secDepth
+	secBegin
+	secEnd
+	secMass
+	secCoords
+	secPoints
+	secIndex
+	secWeights
+)
+
+const flagWeights uint32 = 1 << 0
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports the native byte order. The zero-copy format
+// aliases raw little-endian sections, so big-endian hosts are rejected
+// outright rather than silently producing garbage.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// rawBytes views a fixed-width slice as its underlying bytes (native,
+// i.e. little-endian on every supported host).
+func rawBytes[T int32 | int64 | float64 | int](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// alias views an 8-byte-aligned byte region as a fixed-width slice
+// without copying.
+func alias[T int32 | int64 | float64](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/int(unsafe.Sizeof(*new(T))))
+}
+
+// indexAlias views an on-disk int64 index section as []int — zero-copy
+// on 64-bit hosts, copied on 32-bit ones.
+func indexAlias(b []byte) []int {
+	if strconv.IntSize == 64 {
+		if len(b) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	wide := alias[int64](b)
+	out := make([]int, len(wide))
+	for i, v := range wide {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// indexBytes views []int as on-disk int64 bytes — zero-copy on 64-bit
+// hosts, copied on 32-bit ones.
+func indexBytes(idx []int) []byte {
+	if strconv.IntSize == 64 {
+		return rawBytes(idx)
+	}
+	wide := make([]int64, len(idx))
+	for i, v := range idx {
+		wide[i] = int64(v)
+	}
+	return rawBytes(wide)
+}
+
+func putU32(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func putU64(b []byte, off int, v uint64) {
+	putU32(b, off, uint32(v))
+	putU32(b, off+4, uint32(v>>32))
+}
+
+func getU32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func getU64(b []byte, off int) uint64 {
+	return uint64(getU32(b, off)) | uint64(getU32(b, off+4))<<32
+}
+
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// section is one contiguous payload region.
+type section struct {
+	id   uint32
+	data []byte
+	off  uint64
+	crc  uint32
+}
+
+// Save writes the built tree (arena plus reordered storage) to path as
+// one snapshot file: sections are laid out behind the offset-table
+// header, streamed into a temp file in path's directory, fsynced, and
+// atomically renamed into place — a crash at any point leaves either
+// the old file or the new one, never a torn hybrid.
+func Save(path string, t *tree.Tree) error {
+	if !hostLittleEndian {
+		return fmt.Errorf("%w: big-endian hosts are unsupported", ErrEndian)
+	}
+	if t == nil || t.Data == nil {
+		return fmt.Errorf("%w: nil tree", ErrCorrupt)
+	}
+	f := t.Export()
+
+	sections := []section{
+		{id: secParent, data: rawBytes(f.Parent)},
+		{id: secDepth, data: rawBytes(f.Depth)},
+		{id: secBegin, data: rawBytes(f.Begin)},
+		{id: secEnd, data: rawBytes(f.End)},
+		{id: secMass, data: rawBytes(f.Mass)},
+		{id: secCoords, data: rawBytes(f.Coords)},
+		{id: secPoints, data: rawBytes(f.Points)},
+		{id: secIndex, data: indexBytes(f.Index)},
+	}
+	var flags uint32
+	if f.Weights != nil {
+		flags |= flagWeights
+		sections = append(sections, section{id: secWeights, data: rawBytes(f.Weights)})
+	}
+
+	headerSize := align8(uint64(prologueSize + metaSize + sectionEntry*len(sections) + 4))
+	off := headerSize
+	for i := range sections {
+		sections[i].off = off
+		sections[i].crc = crc32.Checksum(sections[i].data, castagnoli)
+		off = align8(off + uint64(len(sections[i].data)))
+	}
+
+	header := make([]byte, headerSize)
+	copy(header, Magic)
+	putU32(header, 8, Version)
+	putU32(header, 12, endianMarker)
+	m := prologueSize
+	putU64(header, m, uint64(f.N))
+	putU64(header, m+8, uint64(f.NodeCount))
+	putU32(header, m+16, uint32(f.D))
+	putU32(header, m+20, uint32(f.Layout))
+	putU32(header, m+24, uint32(f.LeafSize))
+	putU32(header, m+28, flags)
+	putU64(header, m+32, uint64(f.LeafCount))
+	putU32(header, m+40, uint32(f.MaxDepth))
+	putU32(header, m+44, uint32(len(sections)))
+	for i, s := range sections {
+		e := prologueSize + metaSize + sectionEntry*i
+		putU32(header, e, s.id)
+		putU32(header, e+4, s.crc)
+		putU64(header, e+8, s.off)
+		putU64(header, e+16, uint64(len(s.data)))
+	}
+	crcEnd := prologueSize + metaSize + sectionEntry*len(sections)
+	putU32(header, crcEnd, crc32.Checksum(header[prologueSize:crcEnd], castagnoli))
+
+	return writeAtomic(path, header, sections)
+}
+
+// writeAtomic streams header+sections into a temp file next to path,
+// fsyncs, and renames into place (then fsyncs the directory so the
+// rename itself is durable).
+func writeAtomic(path string, header []byte, sections []section) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := tmp.Write(header); err != nil {
+		return cleanup(err)
+	}
+	pos := uint64(len(header))
+	var pad [8]byte
+	for _, s := range sections {
+		if s.off > pos {
+			if _, err := tmp.Write(pad[:s.off-pos]); err != nil {
+				return cleanup(err)
+			}
+			pos = s.off
+		}
+		if _, err := tmp.Write(s.data); err != nil {
+			return cleanup(err)
+		}
+		pos += uint64(len(s.data))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort: rename durability
+		d.Close()
+	}
+	return nil
+}
+
+// Loaded is a tree served directly off a snapshot mapping. The Tree's
+// coordinate, point, index, and weight buffers alias the mapping, so
+// the Tree is valid only until Release — callers gate Release on their
+// own refcounting (the serve registry releases when a snapshot's
+// refcount drains).
+type Loaded struct {
+	// Tree is the reconstructed tree, payload aliased onto the mapping.
+	Tree *tree.Tree
+	// Path is the snapshot file the mapping reads.
+	Path string
+	// Size is the snapshot file size in bytes.
+	Size int64
+
+	m        mapping
+	released atomic.Bool
+}
+
+// Release unmaps the snapshot. The Tree must not be used afterwards.
+// A second Release is an error (and does not double-unmap).
+func (l *Loaded) Release() error {
+	if !l.released.CompareAndSwap(false, true) {
+		return fmt.Errorf("persist: double release of %s", l.Path)
+	}
+	return l.m.close()
+}
+
+// Load maps the snapshot at path and reconstructs its tree without
+// deserializing the payload: after the header and every section
+// checksum validate, the large buffers are aliased directly onto the
+// mapping and only the Node header arena is rebuilt. Invalid files of
+// any kind fail with a typed error; no input can panic the loader.
+func Load(path string) (*Loaded, error) {
+	if !hostLittleEndian {
+		return nil, fmt.Errorf("%w: big-endian hosts are unsupported", ErrEndian)
+	}
+	m, b, err := openMapping(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	t, err := decode(path, b)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return &Loaded{Tree: t, Path: path, Size: int64(len(b)), m: m}, nil
+}
+
+// decode validates the snapshot bytes and reconstructs the tree. All
+// offsets and sizes are range-checked before use; all payload bytes
+// are checksummed before being trusted.
+func decode(path string, b []byte) (*tree.Tree, error) {
+	fail := func(sentinel error, format string, args ...any) error {
+		return fmt.Errorf("%w: %s: %s", sentinel, path, fmt.Sprintf(format, args...))
+	}
+	if len(b) < prologueSize {
+		return nil, fail(ErrTruncated, "%d bytes, shorter than the %d-byte prologue", len(b), prologueSize)
+	}
+	if string(b[:8]) != Magic {
+		return nil, fail(ErrNotSnapshot, "bad magic %q", b[:8])
+	}
+	if em := getU32(b, 12); em != endianMarker {
+		if em == 0x04030201 {
+			return nil, fail(ErrEndian, "snapshot was written big-endian")
+		}
+		return nil, fail(ErrCorrupt, "endian marker %#x", em)
+	}
+	if v := getU32(b, 8); v != Version {
+		return nil, fail(ErrVersion, "snapshot version %d, this build reads version %d", v, Version)
+	}
+	if len(b) < prologueSize+metaSize {
+		return nil, fail(ErrTruncated, "%d bytes, shorter than the header", len(b))
+	}
+	m := prologueSize
+	n := getU64(b, m)
+	nodeCount := getU64(b, m+8)
+	d := getU32(b, m+16)
+	layout := getU32(b, m+20)
+	leafSize := getU32(b, m+24)
+	flags := getU32(b, m+28)
+	leafCount := getU64(b, m+32)
+	maxDepth := getU32(b, m+40)
+	sectionCount := getU32(b, m+44)
+	// Bound the metadata before any size arithmetic so no product can
+	// overflow and no allocation can be driven unboundedly large.
+	const maxCount = 1 << 40
+	if n == 0 || n > maxCount || nodeCount == 0 || nodeCount > maxCount ||
+		d == 0 || d > 1<<20 || layout > 1 || sectionCount == 0 || sectionCount > 16 {
+		return nil, fail(ErrCorrupt, "implausible metadata (n=%d nodes=%d d=%d layout=%d sections=%d)",
+			n, nodeCount, d, layout, sectionCount)
+	}
+	tableEnd := prologueSize + metaSize + sectionEntry*int(sectionCount)
+	headerSize := align8(uint64(tableEnd + 4))
+	if uint64(len(b)) < headerSize {
+		return nil, fail(ErrTruncated, "%d bytes, header needs %d", len(b), headerSize)
+	}
+	if got, want := crc32.Checksum(b[prologueSize:tableEnd], castagnoli), getU32(b, tableEnd); got != want {
+		return nil, fail(ErrChecksum, "header crc %#x, recorded %#x", got, want)
+	}
+
+	// Section table: bounds-check, then checksum, then alias.
+	bySection := make(map[uint32][]byte, sectionCount)
+	for i := 0; i < int(sectionCount); i++ {
+		e := prologueSize + metaSize + sectionEntry*i
+		id := getU32(b, e)
+		crc := getU32(b, e+4)
+		off := getU64(b, e+8)
+		length := getU64(b, e+16)
+		if off%8 != 0 || off < headerSize {
+			return nil, fail(ErrCorrupt, "section %d at misplaced offset %d", id, off)
+		}
+		if length > uint64(len(b)) || off > uint64(len(b))-length {
+			return nil, fail(ErrTruncated, "section %d spans [%d,%d) of a %d-byte file", id, off, off+length, len(b))
+		}
+		data := b[off : off+length : off+length]
+		if got := crc32.Checksum(data, castagnoli); got != crc {
+			return nil, fail(ErrChecksum, "section %d crc %#x, recorded %#x", id, got, crc)
+		}
+		if _, dup := bySection[id]; dup {
+			return nil, fail(ErrCorrupt, "duplicate section %d", id)
+		}
+		bySection[id] = data
+	}
+	want := func(id uint32, name string, size uint64) ([]byte, error) {
+		data, ok := bySection[id]
+		if !ok {
+			return nil, fail(ErrCorrupt, "missing %s section", name)
+		}
+		if uint64(len(data)) != size {
+			return nil, fail(ErrCorrupt, "%s section is %d bytes, want %d", name, len(data), size)
+		}
+		return data, nil
+	}
+	parentB, err := want(secParent, "parent", 4*nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	depthB, err := want(secDepth, "depth", 4*nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	beginB, err := want(secBegin, "begin", 8*nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	endB, err := want(secEnd, "end", 8*nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	massB, err := want(secMass, "mass", 8*nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	coordsB, err := want(secCoords, "coords", 8*4*uint64(d)*nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	pointsB, err := want(secPoints, "points", 8*n*uint64(d))
+	if err != nil {
+		return nil, err
+	}
+	indexB, err := want(secIndex, "index", 8*n)
+	if err != nil {
+		return nil, err
+	}
+	var weights []float64
+	if flags&flagWeights != 0 {
+		weightsB, err := want(secWeights, "weights", 8*n)
+		if err != nil {
+			return nil, err
+		}
+		weights = alias[float64](weightsB)
+	}
+
+	t, err := tree.FromFlat(&tree.Flat{
+		N:         int(n),
+		D:         int(d),
+		Layout:    storage.Layout(layout),
+		LeafSize:  int(leafSize),
+		NodeCount: int(nodeCount),
+		LeafCount: int(leafCount),
+		MaxDepth:  int(maxDepth),
+		Parent:    alias[int32](parentB),
+		Depth:     alias[int32](depthB),
+		Begin:     alias[int64](beginB),
+		End:       alias[int64](endB),
+		Mass:      alias[float64](massB),
+		Coords:    alias[float64](coordsB),
+		Points:    alias[float64](pointsB),
+		Index:     indexAlias(indexB),
+		Weights:   weights,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	return t, nil
+}

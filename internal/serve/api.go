@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -70,7 +71,11 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap := s.PutDataset(name, data)
+	snap, err := s.PutDataset(name, data)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, DatasetInfo{
 		Name:    snap.Name,
 		Version: snap.Version,
@@ -103,7 +108,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.Query(&req)
 	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "unknown dataset") {
+		if errors.Is(err, ErrUnknownDataset) {
 			status = http.StatusNotFound
 		}
 		writeError(w, status, err)

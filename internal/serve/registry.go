@@ -18,12 +18,19 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"portal/internal/storage"
 	"portal/internal/tree"
 )
+
+// ErrUnknownDataset is the sentinel for queries naming a dataset the
+// registry has no head for. Callers dispatch on it with errors.Is —
+// never by matching error text.
+var ErrUnknownDataset = errors.New("unknown dataset")
 
 // Snapshot is one immutable version of a named dataset: the point
 // storage and its built tree. The registry's head reference keeps it
@@ -69,9 +76,16 @@ func (s *Snapshot) acquire() bool {
 
 // Release drops one reference. When the count drains to zero the
 // snapshot is reclaimed: the registry's reclaim hook runs exactly
-// once, and no further Acquire can succeed.
+// once, and no further Acquire can succeed. Releasing more times than
+// acquired panics — a negative refcount means a snapshot backed by an
+// mmap could be unmapped while a query still reads it, so the bug must
+// fail loudly at the offending Release, not as a later fault.
 func (s *Snapshot) Release() {
-	if s.refs.Add(-1) == 0 {
+	n := s.refs.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("serve: snapshot %q v%d released more times than acquired", s.Name, s.Version))
+	}
+	if n == 0 {
 		if s.reclaim != nil && s.released.CompareAndSwap(false, true) {
 			s.reclaim(s)
 		}
@@ -110,13 +124,26 @@ func NewRegistry() *Registry {
 // registry reference is released after the swap, deferring its
 // reclaim to the last in-flight query.
 func (r *Registry) Put(name string, data *storage.Storage, t *tree.Tree, buildNS int64) *Snapshot {
+	return r.PutBacked(name, data, t, buildNS, nil)
+}
+
+// PutBacked is Put for snapshots whose tree aliases an external
+// resource — a persist mmap. onReclaim runs exactly once, after the
+// refcount drains to zero, so the mapping is released only when no
+// query can still be reading through it.
+func (r *Registry) PutBacked(name string, data *storage.Storage, t *tree.Tree, buildNS int64, onReclaim func()) *Snapshot {
 	s := &Snapshot{
 		Name:    name,
 		Version: r.version.Add(1),
 		Data:    data,
 		Tree:    t,
 		BuildNS: buildNS,
-		reclaim: func(*Snapshot) { r.reclaimed.Add(1) },
+		reclaim: func(*Snapshot) {
+			r.reclaimed.Add(1)
+			if onReclaim != nil {
+				onReclaim()
+			}
+		},
 	}
 	s.refs.Store(1)
 	r.created.Add(1)

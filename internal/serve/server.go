@@ -1,14 +1,20 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"portal/internal/engine"
 	"portal/internal/lang"
+	"portal/internal/persist"
 	"portal/internal/problems"
 	"portal/internal/stats"
 	"portal/internal/storage"
@@ -31,6 +37,14 @@ type Config struct {
 	Tick time.Duration
 	// MaxBatch caps queries per tick (default 64).
 	MaxBatch int
+	// DataDir, when set, persists every published dataset as a
+	// zero-deserialization tree snapshot (internal/persist) under this
+	// directory, and LoadDataDir restores them on restart without
+	// rebuilding any tree.
+	DataDir string
+	// CacheSize bounds the compiled-problem cache (0 means
+	// engine.DefaultCacheSize).
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -151,7 +165,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg.withDefaults(),
 		reg:   NewRegistry(),
-		cache: engine.NewCache(),
+		cache: engine.NewCacheSize(cfg.CacheSize),
 		queue: make(chan *pending, 4*cfg.withDefaults().MaxBatch),
 		quit:  make(chan struct{}),
 	}
@@ -180,19 +194,86 @@ func (s *Server) Close() {
 
 // PutDataset publishes data under name: builds the tree off to the
 // side (parallel, under the server's worker budget) and swaps the
-// head. Returns the new head snapshot.
-func (s *Server) PutDataset(name string, data *storage.Storage) *Snapshot {
+// head. With a DataDir, the built tree is also written as a snapshot
+// file before the swap, so a crash after a successful Put can always
+// warm-restart the dataset. Returns the new head snapshot.
+func (s *Server) PutDataset(name string, data *storage.Storage) (*Snapshot, error) {
 	start := time.Now()
 	t := tree.BuildKD(data, &tree.Options{
 		LeafSize: s.cfg.LeafSize,
 		Parallel: s.cfg.Workers > 1,
 		Workers:  s.cfg.Workers,
 	})
-	return s.reg.Put(name, data, t, time.Since(start).Nanoseconds())
+	if s.cfg.DataDir != "" {
+		if err := persist.Save(s.snapshotPath(name), t); err != nil {
+			return nil, fmt.Errorf("serve: persist dataset %q: %w", name, err)
+		}
+	}
+	return s.reg.Put(name, data, t, time.Since(start).Nanoseconds()), nil
 }
 
-// DropDataset removes name's head.
-func (s *Server) DropDataset(name string) bool { return s.reg.Drop(name) }
+// DropDataset removes name's head, and its snapshot file under
+// DataDir so a restart does not resurrect it.
+func (s *Server) DropDataset(name string) bool {
+	ok := s.reg.Drop(name)
+	if ok && s.cfg.DataDir != "" {
+		os.Remove(s.snapshotPath(name))
+	}
+	return ok
+}
+
+// snapshotPath maps a dataset name to its snapshot file. Names are
+// path-escaped so arbitrary dataset names cannot traverse out of the
+// data directory.
+func (s *Server) snapshotPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, url.PathEscape(name)+snapExt)
+}
+
+const snapExt = ".snap"
+
+// LoadDataDir restores every dataset snapshot under the configured
+// DataDir — the warm-restart path. Each file is mmap-loaded with zero
+// tree rebuild; the mapping is released when the dataset's refcount
+// drains after a later replace or drop. Unreadable or corrupt files
+// are skipped (the server still starts with whatever is intact) and
+// reported joined into the returned error alongside the count of
+// datasets restored.
+func (s *Server) LoadDataDir() (int, error) {
+	if s.cfg.DataDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("serve: read data dir: %w", err)
+	}
+	var errs []error
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapExt) {
+			continue
+		}
+		name, err := url.PathUnescape(strings.TrimSuffix(e.Name(), snapExt))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: snapshot %s: undecodable name: %w", e.Name(), err))
+			continue
+		}
+		l, err := persist.Load(filepath.Join(s.cfg.DataDir, e.Name()))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: snapshot %s: %w", e.Name(), err))
+			continue
+		}
+		// The loaded tree's storage is the build-time reordered point
+		// set; it serves as the dataset storage directly. Queries are
+		// unaffected: results are reported in original indices via the
+		// tree's index map, and self-joins bind the tree on both sides.
+		s.reg.PutBacked(name, l.Tree.Data, l.Tree, 0, func() { l.Release() })
+		loaded++
+	}
+	return loaded, errors.Join(errs...)
+}
 
 // Stats snapshots the server counters.
 func (s *Server) Stats(withDatasets bool) Stats {
@@ -223,7 +304,7 @@ func (s *Server) Query(req *QueryRequest) (*QueryResponse, error) {
 	start := time.Now()
 	snap, ok := s.reg.Acquire(req.Dataset)
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown dataset %q", req.Dataset)
+		return nil, fmt.Errorf("serve: %w %q", ErrUnknownDataset, req.Dataset)
 	}
 	defer snap.Release()
 

@@ -19,11 +19,20 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	return s
 }
 
+func mustPut(t *testing.T, s *Server, name string, data *storage.Storage) *Snapshot {
+	t.Helper()
+	snap, err := s.PutDataset(name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
 func TestServerSelfJoinQueryAndCacheHit(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	s := newTestServer(t, Config{LeafSize: 16, Workers: 2, Tick: time.Millisecond})
 	rows := randRows(rng, 400, 3)
-	s.PutDataset("pts", storage.MustFromRows(rows))
+	mustPut(t, s, "pts", storage.MustFromRows(rows))
 
 	req := &QueryRequest{Dataset: "pts", Problem: "knn", K: 1, Stats: true}
 	first, err := s.Query(req)
@@ -69,7 +78,7 @@ func TestServerExternalPointsQuery(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	s := newTestServer(t, Config{LeafSize: 16, Workers: 2, Tick: time.Millisecond})
 	refRows := randRows(rng, 300, 3)
-	s.PutDataset("ref", storage.MustFromRows(refRows))
+	mustPut(t, s, "ref", storage.MustFromRows(refRows))
 	qRows := randRows(rng, 40, 3)
 
 	resp, err := s.Query(&QueryRequest{
@@ -105,7 +114,7 @@ func TestServerExternalPointsQuery(t *testing.T) {
 func TestServerBatchesConcurrentQueries(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	s := newTestServer(t, Config{LeafSize: 16, Workers: 4, Tick: 50 * time.Millisecond, MaxBatch: 32})
-	s.PutDataset("pts", storage.MustFromRows(randRows(rng, 500, 3)))
+	mustPut(t, s, "pts", storage.MustFromRows(randRows(rng, 500, 3)))
 
 	const n = 12
 	var wg sync.WaitGroup

@@ -1,9 +1,12 @@
 // Command servesmoke is the end-to-end smoke test of the serving
-// path, run by `make serve-smoke`: it starts a real portald process,
-// uploads a 10k-point CSV, runs kde and knn queries twice each —
-// asserting the second of each hits the compiled-problem cache — then
-// drops the dataset asserting the registry's refcounts drain, and
-// shuts the server down cleanly. Exits non-zero on any failure.
+// path, run by `make serve-smoke`: it starts a real portald process
+// with a data directory, uploads a 10k-point CSV, runs kde and knn
+// queries twice each — asserting the second of each hits the
+// compiled-problem cache — exercises drop-and-reupload refcount
+// draining, then kills the process and restarts it over the same data
+// directory, asserting the dataset comes back without an upload and
+// answers the same knn query byte-identically. Exits non-zero on any
+// failure.
 package main
 
 import (
@@ -25,15 +28,16 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
-func main() {
-	portald := flag.String("portald", "", "path to the portald binary")
-	csvPath := flag.String("csv", "", "path to the dataset CSV to upload")
-	flag.Parse()
-	if *portald == "" || *csvPath == "" {
-		fail("both -portald and -csv are required")
-	}
+// portaldProc is one running portald with a connected client.
+type portaldProc struct {
+	cmd *exec.Cmd
+	c   *client.Client
+}
 
-	cmd := exec.Command(*portald, "-addr", "127.0.0.1:0", "-workers", "4")
+// startPortald launches portald on a free port and waits for health.
+func startPortald(portald string, extra ...string) *portaldProc {
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "4"}, extra...)
+	cmd := exec.Command(portald, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		fail("stdout pipe: %v", err)
@@ -42,7 +46,6 @@ func main() {
 	if err := cmd.Start(); err != nil {
 		fail("starting portald: %v", err)
 	}
-	defer cmd.Process.Kill()
 
 	// portald prints "portald listening on <addr>" once bound.
 	var addr string
@@ -55,6 +58,7 @@ func main() {
 		}
 	}
 	if addr == "" {
+		cmd.Process.Kill()
 		fail("portald never reported its listen address")
 	}
 	go func() { // drain any further output
@@ -68,10 +72,40 @@ func main() {
 		if err := c.Health(); err == nil {
 			break
 		} else if time.Now().After(deadline) {
+			cmd.Process.Kill()
 			fail("server never became healthy: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+	return &portaldProc{cmd: cmd, c: c}
+}
+
+// shutdown stops the process via SIGTERM and waits for a clean exit.
+func (p *portaldProc) shutdown() {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fail("signalling portald: %v", err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		fail("portald did not shut down cleanly: %v", err)
+	}
+}
+
+func main() {
+	portald := flag.String("portald", "", "path to the portald binary")
+	csvPath := flag.String("csv", "", "path to the dataset CSV to upload")
+	flag.Parse()
+	if *portald == "" || *csvPath == "" {
+		fail("both -portald and -csv are required")
+	}
+	dataDir, err := os.MkdirTemp("", "servesmoke-data")
+	if err != nil {
+		fail("data dir: %v", err)
+	}
+	defer os.RemoveAll(dataDir)
+
+	p := startPortald(*portald, "-data-dir", dataDir)
+	defer p.cmd.Process.Kill()
+	c := p.c
 
 	f, err := os.Open(*csvPath)
 	if err != nil {
@@ -123,7 +157,7 @@ func main() {
 	}
 
 	// Drop the dataset: with no in-flight queries the snapshot's
-	// refcount must drain immediately.
+	// refcount must drain immediately (and its snapshot file go away).
 	if err := c.DropDataset("smoke"); err != nil {
 		fail("dropping dataset: %v", err)
 	}
@@ -138,11 +172,53 @@ func main() {
 	fmt.Printf("servesmoke: refcounts drained (%d created, %d reclaimed)\n",
 		st.Registry.SnapshotsCreated, st.Registry.SnapshotsReclaimed)
 
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		fail("signalling portald: %v", err)
+	// Warm-restart phase: re-upload, capture a knn answer, restart the
+	// process over the same data directory, and require the restored
+	// dataset to answer identically — with no upload and no rebuild.
+	f, err = os.Open(*csvPath)
+	if err != nil {
+		fail("reopening CSV: %v", err)
 	}
-	if err := cmd.Wait(); err != nil {
-		fail("portald did not shut down cleanly: %v", err)
+	if _, err := c.PutDatasetCSV("smoke", f); err != nil {
+		f.Close()
+		fail("re-uploading dataset: %v", err)
 	}
+	f.Close()
+	knnReq := &serve.QueryRequest{Dataset: "smoke", Problem: "knn", K: 3}
+	want, err := c.Query(knnReq)
+	if err != nil {
+		fail("pre-restart knn query: %v", err)
+	}
+	p.shutdown()
+
+	restart := time.Now()
+	p2 := startPortald(*portald, "-data-dir", dataDir)
+	defer p2.cmd.Process.Kill()
+	infos, err := p2.c.Datasets()
+	if err != nil {
+		fail("listing datasets after restart: %v", err)
+	}
+	if len(infos) != 1 || infos[0].Name != "smoke" || infos[0].N != info.N {
+		fail("warm restart did not restore the dataset (got %+v)", infos)
+	}
+	got, err := p2.c.Query(knnReq)
+	if err != nil {
+		fail("post-restart knn query: %v", err)
+	}
+	if len(got.ArgLists) != len(want.ArgLists) {
+		fail("post-restart knn returned %d rows, want %d", len(got.ArgLists), len(want.ArgLists))
+	}
+	for i := range want.ArgLists {
+		for j := range want.ArgLists[i] {
+			if got.ArgLists[i][j] != want.ArgLists[i][j] ||
+				got.ValueLists[i][j] != want.ValueLists[i][j] {
+				fail("post-restart knn row %d differs from pre-restart answer", i)
+			}
+		}
+	}
+	fmt.Printf("servesmoke: warm restart restored %q and answered identically in %v\n",
+		infos[0].Name, time.Since(restart))
+
+	p2.shutdown()
 	fmt.Println("servesmoke: PASS")
 }

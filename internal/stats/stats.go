@@ -211,6 +211,8 @@ type CacheCounters struct {
 	Hits int64 `json:"hits"`
 	// Misses counts lookups that had to run the full compile.
 	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the cache's LRU bound.
+	Evictions int64 `json:"evictions"`
 }
 
 // Phases is the wall-time breakdown of one execution. Durations

@@ -1,6 +1,7 @@
 package traverse
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -39,6 +40,10 @@ type BatchItem struct {
 	Schedule Schedule
 	// Wall is the item's traversal wall time, written on completion.
 	Wall time.Duration
+	// Err is set when the item's traversal panicked. The panic is
+	// contained to the item: its batch-mates run to completion and the
+	// caller decides per item how to surface the failure.
+	Err error
 }
 
 // RunBatchParallel executes every item, running up to
@@ -72,13 +77,18 @@ func RunBatchParallel(items []*BatchItem, workers int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			start := time.Now()
+			defer func() {
+				it.Wall = time.Since(start)
+				if r := recover(); r != nil {
+					it.Err = fmt.Errorf("traverse: batch item panicked: %v", r)
+				}
+			}()
 			RunParallel(it.Q, it.R, it.Rule, Options{
 				Workers:  share,
 				Schedule: it.Schedule,
 				Stats:    it.Stats,
 				Trace:    it.Trace,
 			})
-			it.Wall = time.Since(start)
 		}(it)
 	}
 	wg.Wait()

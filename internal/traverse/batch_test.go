@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"portal/internal/stats"
+	"portal/internal/tree"
 )
 
 // A batch of independent traversals must cover each item's full pair
@@ -41,6 +42,40 @@ func TestRunBatchParallelIndependentItems(t *testing.T) {
 		want := int64(rules[i].q.Len()) * int64(shared.Len())
 		if it.Stats.BaseCasePairs != want {
 			t.Fatalf("item %d BaseCasePairs = %d, want %d", i, it.Stats.BaseCasePairs, want)
+		}
+	}
+}
+
+// panicRule panics on the first base case — a stand-in for a buggy
+// bound rule or a poisoned binding.
+type panicRule struct{ countRule }
+
+func (p *panicRule) BaseCase(qn, rn *tree.Node) { panic("poisoned rule") }
+func (p *panicRule) Fork() Rule                 { return p }
+
+// A panicking item must fail alone: its Err is set, and every other
+// item of the batch still completes with full coverage.
+func TestRunBatchParallelContainsPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shared := buildTree(rng, 200, 3, 8)
+	qGood := buildTree(rng, 80, 3, 8)
+	qBad := buildTree(rng, 80, 3, 8)
+	good := &countRule{q: qGood, r: shared, perQuery: make([]int64, qGood.Len()), postSeen: map[int]int{}}
+	bad := &panicRule{countRule{q: qBad, r: shared, postSeen: map[int]int{}}}
+	items := []*BatchItem{
+		{Q: qGood, R: shared, Rule: good, Stats: &stats.TraversalStats{}},
+		{Q: qBad, R: shared, Rule: bad, Stats: &stats.TraversalStats{}},
+	}
+	RunBatchParallel(items, 2)
+	if items[1].Err == nil {
+		t.Fatal("panicking item reported no error")
+	}
+	if items[0].Err != nil {
+		t.Fatalf("healthy batch-mate failed: %v", items[0].Err)
+	}
+	for qi, n := range good.perQuery {
+		if n != int64(shared.Len()) {
+			t.Fatalf("healthy item query %d saw %d reference points, want %d", qi, n, shared.Len())
 		}
 	}
 }

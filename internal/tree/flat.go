@@ -1,0 +1,205 @@
+package tree
+
+import (
+	"fmt"
+
+	"portal/internal/geom"
+	"portal/internal/storage"
+)
+
+// Flat is the layout-free export of a built Tree: every piece of tree
+// state as fixed-width contiguous arrays, the shape internal/persist
+// serializes verbatim. The large buffers (Coords, Points, Index,
+// Weights) are shared with the Tree on export and aliased straight off
+// an mmap on import — only the per-node scalar arrays (Begin, End,
+// Depth, Mass) are copied out of the Node headers, because Go struct
+// arrays holding slice views cannot be mapped from disk.
+//
+// The preorder arena invariants make this exact: Nodes[i].ID == i,
+// Parent[i] < i, and each parent's children occupy consecutive IDs, so
+// the Children slices are fully reconstructible from Parent alone and
+// never need serializing.
+type Flat struct {
+	// N and D are the point count and dimensionality.
+	N, D int
+	// Layout is the physical layout of Points.
+	Layout storage.Layout
+	// LeafSize is the leaf capacity the tree was built with.
+	LeafSize int
+	// NodeCount, LeafCount, and MaxDepth mirror the Tree stats.
+	NodeCount, LeafCount, MaxDepth int
+	// Parent is the arena parent array (length NodeCount, Parent[0] == -1).
+	Parent []int32
+	// Depth holds each node's depth (length NodeCount).
+	Depth []int32
+	// Begin and End delimit each node's point range (length NodeCount).
+	Begin, End []int64
+	// Mass holds each node's total weight (length NodeCount).
+	Mass []float64
+	// Coords is the shared coordinate buffer: 4·D floats per node
+	// (BBox.Min, BBox.Max, Center, Centroid back to back).
+	Coords []float64
+	// Points is the reordered point buffer (N·D values in Layout).
+	Points []float64
+	// Index maps reordered positions to original indices (length N).
+	Index []int
+	// Weights are the reordered per-point weights, or nil.
+	Weights []float64
+}
+
+// Export flattens the tree into its serializable form. The returned
+// Flat shares Coords, Points, Index, and Weights with the tree (no
+// copies); only the per-node scalars are gathered out of the arena.
+func (t *Tree) Export() *Flat {
+	nc := len(t.Nodes)
+	f := &Flat{
+		N:         t.Len(),
+		D:         t.Dim(),
+		Layout:    t.Data.Layout(),
+		LeafSize:  t.LeafSize,
+		NodeCount: nc,
+		LeafCount: t.LeafCount,
+		MaxDepth:  t.MaxDepth,
+		Parent:    t.Parent,
+		Depth:     make([]int32, nc),
+		Begin:     make([]int64, nc),
+		End:       make([]int64, nc),
+		Mass:      make([]float64, nc),
+		Coords:    t.coords,
+		Points:    t.Data.Flat(),
+		Index:     t.Index,
+		Weights:   t.Weights,
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		f.Depth[i] = int32(n.Depth)
+		f.Begin[i] = int64(n.Begin)
+		f.End[i] = int64(n.End)
+		f.Mass[i] = n.Mass
+	}
+	return f
+}
+
+// FromFlat reconstructs a Tree from its flat export without copying
+// the large buffers: Coords, Points, Index, and Weights are aliased
+// directly (the persist loader points them into an mmap), and only the
+// Node header arena — Go structs that cannot live on disk — is rebuilt
+// in one linear pass. Children are recovered from Parent via the
+// preorder invariant.
+//
+// Every structural invariant is validated with errors, never panics:
+// the input may come from an untrusted or corrupt file, so no value is
+// used as an index before it is range-checked.
+func FromFlat(f *Flat) (*Tree, error) {
+	nc := f.NodeCount
+	switch {
+	case f.N < 1 || f.D < 1:
+		return nil, fmt.Errorf("tree: flat import: invalid shape %dx%d", f.N, f.D)
+	case f.Layout != storage.RowMajor && f.Layout != storage.ColMajor:
+		return nil, fmt.Errorf("tree: flat import: invalid layout %d", f.Layout)
+	case nc < 1:
+		return nil, fmt.Errorf("tree: flat import: %d nodes", nc)
+	case len(f.Parent) != nc || len(f.Depth) != nc || len(f.Begin) != nc || len(f.End) != nc || len(f.Mass) != nc:
+		return nil, fmt.Errorf("tree: flat import: per-node arrays %d/%d/%d/%d/%d for %d nodes",
+			len(f.Parent), len(f.Depth), len(f.Begin), len(f.End), len(f.Mass), nc)
+	case len(f.Coords) != 4*f.D*nc:
+		return nil, fmt.Errorf("tree: flat import: %d coords, want %d", len(f.Coords), 4*f.D*nc)
+	case len(f.Points) != f.N*f.D:
+		return nil, fmt.Errorf("tree: flat import: %d point values, want %d", len(f.Points), f.N*f.D)
+	case len(f.Index) != f.N:
+		return nil, fmt.Errorf("tree: flat import: %d index entries, want %d", len(f.Index), f.N)
+	case f.Weights != nil && len(f.Weights) != f.N:
+		return nil, fmt.Errorf("tree: flat import: %d weights, want %d", len(f.Weights), f.N)
+	}
+	if f.Parent[0] != -1 {
+		return nil, fmt.Errorf("tree: flat import: root parent %d, want -1", f.Parent[0])
+	}
+	if f.Begin[0] != 0 || f.End[0] != int64(f.N) {
+		return nil, fmt.Errorf("tree: flat import: root covers [%d,%d), want [0,%d)", f.Begin[0], f.End[0], f.N)
+	}
+	childCount := make([]int32, nc)
+	maxDepth := 0
+	for i := 0; i < nc; i++ {
+		if i > 0 {
+			p := f.Parent[i]
+			if p < 0 || int(p) >= i {
+				return nil, fmt.Errorf("tree: flat import: node %d has parent %d (preorder requires 0 <= parent < id)", i, p)
+			}
+			if f.Depth[i] != f.Depth[p]+1 {
+				return nil, fmt.Errorf("tree: flat import: node %d depth %d under parent depth %d", i, f.Depth[i], f.Depth[p])
+			}
+			childCount[p]++
+		}
+		if f.Begin[i] < 0 || f.End[i] < f.Begin[i] || f.End[i] > int64(f.N) {
+			return nil, fmt.Errorf("tree: flat import: node %d covers [%d,%d) of %d points", i, f.Begin[i], f.End[i], f.N)
+		}
+		if d := int(f.Depth[i]); d > maxDepth {
+			maxDepth = d
+		}
+	}
+
+	d := f.D
+	leafSize := f.LeafSize
+	if leafSize <= 0 {
+		leafSize = DefaultLeafSize
+	}
+	t := &Tree{
+		Nodes:     make([]Node, nc),
+		Parent:    f.Parent,
+		Data:      storage.FromFlat(f.N, f.D, f.Layout, f.Points),
+		Index:     f.Index,
+		Weights:   f.Weights,
+		LeafSize:  leafSize,
+		NodeCount: nc,
+		MaxDepth:  maxDepth,
+		coords:    f.Coords,
+	}
+	// Child slices are carved out of one shared arena exactly as the
+	// builder lays them out: each parent's run starts at the prefix sum
+	// of the child counts of all lower-ID nodes.
+	if nc > 1 {
+		t.childRefs = make([]*Node, nc-1)
+	}
+	offsets := make([]int32, nc)
+	leafCount := 0
+	var run int32
+	for i := 0; i < nc; i++ {
+		offsets[i] = run
+		run += childCount[i]
+		if childCount[i] == 0 {
+			leafCount++
+		}
+	}
+	for i := 0; i < nc; i++ {
+		co := f.Coords[4*d*i : 4*d*(i+1) : 4*d*(i+1)]
+		nd := &t.Nodes[i]
+		nd.ID = i
+		nd.Begin, nd.End = int(f.Begin[i]), int(f.End[i])
+		nd.Depth = int(f.Depth[i])
+		nd.BBox = geom.Rect{Min: co[:d:d], Max: co[d : 2*d : 2*d]}
+		nd.Center = co[2*d : 3*d : 3*d]
+		nd.Centroid = co[3*d:]
+		nd.Mass = f.Mass[i]
+		if c := childCount[i]; c > 0 {
+			nd.Children = t.childRefs[offsets[i] : offsets[i]+c : offsets[i]+c]
+		}
+	}
+	// Second pass: attach each node to its parent's next child slot.
+	// Preorder visits a parent's children in ascending ID order, so
+	// filling slots in ID order reproduces the build's child order.
+	next := make([]int32, nc)
+	for i := 1; i < nc; i++ {
+		p := f.Parent[i]
+		t.childRefs[offsets[p]+next[p]] = &t.Nodes[i]
+		next[p]++
+	}
+	t.Root = &t.Nodes[0]
+	t.LeafCount = leafCount
+	if f.LeafCount != 0 && f.LeafCount != leafCount {
+		return nil, fmt.Errorf("tree: flat import: %d leaves recorded, %d reconstructed", f.LeafCount, leafCount)
+	}
+	if f.MaxDepth != 0 && f.MaxDepth != maxDepth {
+		return nil, fmt.Errorf("tree: flat import: max depth %d recorded, %d reconstructed", f.MaxDepth, maxDepth)
+	}
+	return t, nil
+}
