@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-serve bench-persist bench-compare stats trace-smoke serve-smoke
+.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-serve bench-persist bench-compare stats trace-smoke serve-smoke metrics-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
-check: build vet test race trace-smoke serve-smoke
+check: build vet test race trace-smoke serve-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The traversal, engine, tree build, trace recorder, serving path, and
-# snapshot persistence are where parallelism (and shared mmap state)
-# lives; run them under the race detector explicitly.
+# The traversal, engine, tree build, trace recorder, serving path,
+# snapshot persistence, and metrics core are where parallelism (and
+# shared mmap state) lives; run them under the race detector
+# explicitly.
 race:
-	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/... ./internal/serve/... ./internal/persist/...
+	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/... ./internal/serve/... ./internal/persist/... ./internal/metrics/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -87,3 +88,17 @@ serve-smoke:
 	$(GO) build -o /tmp/portal-serve-smoke/portald ./cmd/portald
 	$(GO) run ./internal/serve/servesmoke \
 		-portald /tmp/portal-serve-smoke/portald -csv /tmp/portal-serve-smoke/data.csv
+
+# End-to-end telemetry smoke test: start portald with a 1µs slow-query
+# threshold, trace-sample 1, and -pprof; validate the /metrics
+# exposition before and after a query burst (counters must advance by
+# exactly the burst, rejected queries land on their own outcome
+# label), assert the burst shows up in /debug/queries with stats
+# reports and Chrome traces that validate, and check /debug/pprof/
+# answers.
+metrics-smoke:
+	@mkdir -p /tmp/portal-metrics-smoke
+	$(GO) run ./cmd/portalgen -dataset IHEPC -n 10000 -seed 1 -o /tmp/portal-metrics-smoke/data.csv
+	$(GO) build -o /tmp/portal-metrics-smoke/portald ./cmd/portald
+	$(GO) run ./internal/serve/metricsmoke \
+		-portald /tmp/portal-metrics-smoke/portald -csv /tmp/portal-metrics-smoke/data.csv

@@ -6,7 +6,9 @@
 //	portald -addr :7070 -workers 8
 //
 // Endpoints: PUT/DELETE /datasets/{name}, GET /datasets, POST /query,
-// GET /stats, GET /healthz. See README "Serving".
+// GET /stats, GET /healthz, GET /readyz, GET /metrics,
+// GET /debug/queries, and (with -pprof) /debug/pprof/. See README
+// "Serving" and "Observability".
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +34,10 @@ func main() {
 	tick := flag.Duration("tick", 2*time.Millisecond, "query batching window")
 	maxBatch := flag.Int("max-batch", 64, "max queries per batch tick")
 	dataDir := flag.String("data-dir", "", "dataset snapshot directory: published datasets persist here and are mmap-restored on restart without rebuilding trees")
+	slowQuery := flag.Duration("slow-query", time.Second, "slow-query log threshold; queries at or over it are captured with their full stats report at GET /debug/queries (0 disables)")
+	traceSample := flag.Int("trace-sample", 128, "trace every Nth query and capture its Chrome trace at GET /debug/queries (0 disables, 1 traces everything)")
+	queryLog := flag.Int("query-log", 64, "entries retained per capture ring (slow and sampled)")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 	flag.Parse()
 
 	if *dataDir != "" {
@@ -39,25 +46,15 @@ func main() {
 		}
 	}
 	srv := serve.NewServer(serve.Config{
-		LeafSize: *leaf,
-		Workers:  *workers,
-		Tick:     *tick,
-		MaxBatch: *maxBatch,
-		DataDir:  *dataDir,
+		LeafSize:     *leaf,
+		Workers:      *workers,
+		Tick:         *tick,
+		MaxBatch:     *maxBatch,
+		DataDir:      *dataDir,
+		SlowQuery:    *slowQuery,
+		TraceSampleN: *traceSample,
+		QueryLogSize: *queryLog,
 	})
-	if *dataDir != "" {
-		start := time.Now()
-		n, err := srv.LoadDataDir()
-		if err != nil {
-			// Degraded restart: the intact datasets are up; the corrupt
-			// ones are reported and skipped, never served wrong.
-			log.Printf("portald: warm restart: %v", err)
-		}
-		if n > 0 {
-			log.Printf("portald: warm restart: %d dataset(s) restored from %s in %v (no tree rebuilds)",
-				n, *dataDir, time.Since(start))
-		}
-	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -67,9 +64,40 @@ func main() {
 	// start on port 0 and discover the port.
 	fmt.Printf("portald listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
+
+	// Warm restart happens behind the already-open listener: /healthz
+	// answers immediately while /readyz returns 503 until every intact
+	// snapshot is mmap-restored, so a load balancer holds traffic
+	// without the process looking dead.
+	if *dataDir != "" {
+		go func() {
+			start := time.Now()
+			n, err := srv.LoadDataDir()
+			if err != nil {
+				// Degraded restart: the intact datasets are up; the corrupt
+				// ones are reported and skipped, never served wrong.
+				log.Printf("portald: warm restart: %v", err)
+			}
+			if n > 0 {
+				log.Printf("portald: warm restart: %d dataset(s) restored from %s in %v (no tree rebuilds)",
+					n, *dataDir, time.Since(start))
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

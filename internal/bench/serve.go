@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -119,7 +120,7 @@ func measureServe(o Options, problem, mode string, n, workers int) ServeResult {
 		defer ts.Close()
 		cl := client.New(ts.URL, nil)
 		query = func(pts [][]float64) error {
-			_, err := cl.Query(newReq(pts))
+			_, err := cl.Query(context.Background(), newReq(pts))
 			return err
 		}
 	default:

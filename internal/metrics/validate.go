@@ -1,0 +1,318 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the exposition's structural validator — the analogue of
+// internal/trace's ValidateChromeTrace for the Prometheus text format.
+// The golden test, the metrics-smoke gate, and the serve smoke all
+// parse scrapes through it, so a malformed exposition (bad name,
+// sample without a TYPE, non-cumulative histogram, duplicate series)
+// fails CI rather than a scraper in production.
+
+// Exposition is a parsed scrape: declared family types plus every
+// sample keyed by its full series text (name{label="value",...}).
+type Exposition struct {
+	// Types maps family name to "counter" | "gauge" | "histogram".
+	Types map[string]string
+	// Help maps family name to its HELP text.
+	Help map[string]string
+	// Samples maps the exact series text (as exposed) to its value.
+	Samples map[string]float64
+}
+
+// Value reads one series by its exact exposed text.
+func (e *Exposition) Value(series string) (float64, bool) {
+	v, ok := e.Samples[series]
+	return v, ok
+}
+
+// Sum totals every sample of the named family (all label sets). For
+// histograms it sums only the _count samples — the observation count.
+func (e *Exposition) Sum(name string) float64 {
+	target := name
+	if e.Types[name] == "histogram" {
+		target = name + "_count"
+	}
+	var sum float64
+	for series, v := range e.Samples {
+		base, _ := splitSeries(series)
+		if base == target {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// splitSeries cuts a series text into its sample name and label block.
+func splitSeries(series string) (name, labels string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i], series[i:]
+	}
+	return series, ""
+}
+
+// histogramBase strips a histogram sample suffix, reporting which.
+func histogramBase(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}
+
+// Validate parses b as a Prometheus text exposition and checks its
+// structural invariants:
+//
+//   - every line is a # HELP / # TYPE comment or a sample
+//   - metric and label names match the Prometheus grammar
+//   - every sample belongs to a family with a declared TYPE
+//   - no duplicate series
+//   - histograms: per label set, _bucket samples are cumulative
+//     (non-decreasing with le), include le="+Inf", and the +Inf count
+//     equals the _count sample; a _sum sample is present
+//   - counter samples are finite and non-negative
+//
+// It returns the parsed exposition for further assertions.
+func Validate(b []byte) (*Exposition, error) {
+	e := &Exposition{
+		Types:   make(map[string]string),
+		Help:    make(map[string]string),
+		Samples: make(map[string]float64),
+	}
+	for i, line := range strings.Split(string(b), "\n") {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseComment(line); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", ln, err)
+			}
+			continue
+		}
+		if err := e.parseSample(line); err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", ln, err)
+		}
+	}
+	if len(e.Samples) == 0 {
+		return nil, fmt.Errorf("metrics: exposition has no samples")
+	}
+	if err := e.checkHistograms(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	name := fields[2]
+	if !validName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	if fields[1] == "HELP" {
+		if _, dup := e.Help[name]; dup {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		e.Help[name] = rest
+		return nil
+	}
+	switch rest {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("unknown TYPE %q for %q", rest, name)
+	}
+	if _, dup := e.Types[name]; dup {
+		return fmt.Errorf("duplicate TYPE for %q", name)
+	}
+	e.Types[name] = rest
+	return nil
+}
+
+func (e *Exposition) parseSample(line string) error {
+	// Split "series value" at the last space outside the label block.
+	cut := strings.LastIndexByte(line, ' ')
+	if cut <= 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	series, valText := line[:cut], line[cut+1:]
+	v, err := strconv.ParseFloat(valText, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q: %v", valText, err)
+	}
+	name, labels := splitSeries(series)
+	if labels != "" && (!strings.HasSuffix(labels, "}") || len(labels) < 2) {
+		return fmt.Errorf("malformed label block in %q", series)
+	}
+	if !validName(name) {
+		return fmt.Errorf("invalid sample name %q", name)
+	}
+	base, suffix := histogramBase(name)
+	typ, declared := e.Types[name]
+	if !declared {
+		typ, declared = e.Types[base]
+		if declared && typ == "histogram" && suffix == "" {
+			return fmt.Errorf("sample %q collides with histogram %q", name, base)
+		}
+	} else {
+		base, suffix = name, ""
+	}
+	if !declared {
+		return fmt.Errorf("sample %q has no # TYPE declaration", name)
+	}
+	if typ == "histogram" && base != name && suffix == "" {
+		return fmt.Errorf("histogram %q sample %q has no recognized suffix", base, name)
+	}
+	if typ == "counter" && (v < 0 || math.IsNaN(v) || math.IsInf(v, 0)) {
+		return fmt.Errorf("counter %q has non-finite or negative value %v", series, v)
+	}
+	if _, dup := e.Samples[series]; dup {
+		return fmt.Errorf("duplicate series %q", series)
+	}
+	e.Samples[series] = v
+	return nil
+}
+
+// checkHistograms verifies bucket cumulativity and count agreement
+// for every histogram family in the exposition.
+func (e *Exposition) checkHistograms() error {
+	type buckets struct {
+		les  []float64
+		cums []float64
+	}
+	// group: histogram family + non-le labels -> bucket list
+	group := make(map[string]*buckets)
+	for series, v := range e.Samples {
+		name, labels := splitSeries(series)
+		base, suffix := histogramBase(name)
+		if suffix != "_bucket" || e.Types[base] != "histogram" {
+			continue
+		}
+		le, rest, err := extractLE(labels)
+		if err != nil {
+			return fmt.Errorf("metrics: %q: %w", series, err)
+		}
+		key := base + rest
+		g := group[key]
+		if g == nil {
+			g = &buckets{}
+			group[key] = g
+		}
+		g.les = append(g.les, le)
+		g.cums = append(g.cums, v)
+	}
+	for key, g := range group {
+		sort.Sort(&leSort{g.les, g.cums})
+		if len(g.les) == 0 || !math.IsInf(g.les[len(g.les)-1], 1) {
+			return fmt.Errorf("metrics: histogram %q has no le=\"+Inf\" bucket", key)
+		}
+		for i := 1; i < len(g.cums); i++ {
+			if g.cums[i] < g.cums[i-1] {
+				return fmt.Errorf("metrics: histogram %q buckets are not cumulative (le=%g count %g < %g)",
+					key, g.les[i], g.cums[i], g.cums[i-1])
+			}
+		}
+		name, rest := splitSeries(key)
+		countSeries := name + "_count" + rest
+		count, ok := e.Samples[countSeries]
+		if !ok {
+			return fmt.Errorf("metrics: histogram %q is missing %s", key, countSeries)
+		}
+		if inf := g.cums[len(g.cums)-1]; inf != count {
+			return fmt.Errorf("metrics: histogram %q +Inf bucket %g != _count %g", key, inf, count)
+		}
+		if _, ok := e.Samples[name+"_sum"+rest]; !ok {
+			return fmt.Errorf("metrics: histogram %q is missing its _sum", key)
+		}
+	}
+	return nil
+}
+
+// extractLE pulls the le label out of a label block, returning its
+// parsed bound and the block with le removed (label order preserved).
+func extractLE(labels string) (float64, string, error) {
+	if labels == "" {
+		return 0, "", fmt.Errorf("_bucket sample has no le label")
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := splitLabels(inner)
+	var rest []string
+	le := math.NaN()
+	for _, p := range parts {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return 0, "", fmt.Errorf("malformed label %q", p)
+		}
+		v = strings.Trim(v, `"`)
+		if k == "le" {
+			if v == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return 0, "", fmt.Errorf("bad le %q", v)
+				}
+				le = f
+			}
+			continue
+		}
+		rest = append(rest, p)
+	}
+	if math.IsNaN(le) {
+		return 0, "", fmt.Errorf("_bucket sample has no le label")
+	}
+	if len(rest) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(rest, ",") + "}", nil
+}
+
+// splitLabels splits a label block body on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// leSort sorts parallel le/cum slices by le.
+type leSort struct {
+	les  []float64
+	cums []float64
+}
+
+func (s *leSort) Len() int           { return len(s.les) }
+func (s *leSort) Less(i, j int) bool { return s.les[i] < s.les[j] }
+func (s *leSort) Swap(i, j int) {
+	s.les[i], s.les[j] = s.les[j], s.les[i]
+	s.cums[i], s.cums[j] = s.cums[j], s.cums[i]
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"portal/internal/metrics"
 	"portal/internal/storage"
 )
 
@@ -21,7 +22,14 @@ import (
 //	POST   /query             run a QueryRequest, returns QueryResponse
 //	GET    /stats             server stats (queries, batches, cache
 //	                          counters, registry refcounts)
-//	GET    /healthz           liveness
+//	GET    /healthz           liveness (200 as long as the process
+//	                          serves HTTP)
+//	GET    /readyz            readiness: 200 once startup restore has
+//	                          completed, 503 before — the load-balancer
+//	                          gate
+//	GET    /metrics           Prometheus text exposition
+//	GET    /debug/queries     slow-query log and trace-sampled queries
+//	                          (bounded rings, newest first)
 //
 // Errors are JSON objects {"error": "..."} with a 4xx/5xx status.
 
@@ -36,7 +44,48 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	return mux
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		http.Error(w, "restoring", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	s.m.reg.WriteProm(w)
+}
+
+// QueryLog is the GET /debug/queries response: the slow-query and
+// trace-sampled capture rings, newest first, plus the sampling config
+// so a reader can interpret them.
+type QueryLog struct {
+	SlowThresholdNS int64           `json:"slow_threshold_ns"`
+	TraceSampleN    int             `json:"trace_sample_n"`
+	SlowTotal       int64           `json:"slow_total"`
+	SampledTotal    int64           `json:"sampled_total"`
+	Slow            []QueryLogEntry `json:"slow"`
+	Sampled         []QueryLogEntry `json:"sampled"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	slow, slowTotal := s.slow.snapshot()
+	sampled, sampledTotal := s.sampled.snapshot()
+	writeJSON(w, http.StatusOK, QueryLog{
+		SlowThresholdNS: s.cfg.SlowQuery.Nanoseconds(),
+		TraceSampleN:    s.cfg.TraceSampleN,
+		SlowTotal:       slowTotal,
+		SampledTotal:    sampledTotal,
+		Slow:            slow,
+		Sampled:         sampled,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -4,19 +4,29 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"portal/internal/serve"
 )
 
-// Client talks to one portald instance.
+// DefaultTimeout is the per-call deadline applied when the caller's
+// context carries none: long enough for a cold multi-second traversal,
+// short enough that a wedged server cannot hang a caller forever.
+const DefaultTimeout = 30 * time.Second
+
+// Client talks to one portald instance. Every call takes a
+// context.Context as its first argument; cancellation and deadlines
+// propagate to the underlying HTTP request.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	timeout time.Duration
 }
 
 // New returns a client for the server at base (e.g.
@@ -25,88 +35,139 @@ func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    httpClient,
+		timeout: DefaultTimeout,
+	}
 }
 
-func (c *Client) do(method, path, contentType string, body io.Reader, out any) error {
-	req, err := http.NewRequest(method, c.base+path, body)
+// SetTimeout overrides the per-call deadline applied when the caller's
+// context has none; d <= 0 disables the fallback deadline entirely.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// withDeadline applies the client's fallback timeout when ctx carries
+// no deadline of its own.
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok || c.timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.timeout)
+}
+
+// doRaw performs one request and returns the raw response body of a
+// 2xx response (the /metrics scrape path, where the body is not JSON).
+func (c *Client) doRaw(ctx context.Context, method, path, contentType string, body io.Reader) ([]byte, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
 	if resp.StatusCode/100 != 2 {
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s %s: %s", method, path, e.Error)
 		}
-		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+		return nil, fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	return raw, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	raw, err := c.doRaw(ctx, method, path, contentType, body)
+	if err != nil {
+		return err
 	}
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.Unmarshal(raw, out)
 }
 
 // PutDatasetCSV uploads a dataset as CSV.
-func (c *Client) PutDatasetCSV(name string, csv io.Reader) (serve.DatasetInfo, error) {
+func (c *Client) PutDatasetCSV(ctx context.Context, name string, csv io.Reader) (serve.DatasetInfo, error) {
 	var info serve.DatasetInfo
-	err := c.do(http.MethodPut, "/datasets/"+name, "text/csv", csv, &info)
+	err := c.do(ctx, http.MethodPut, "/datasets/"+name, "text/csv", csv, &info)
 	return info, err
 }
 
 // PutDatasetRows uploads a dataset as a JSON array of rows.
-func (c *Client) PutDatasetRows(name string, rows [][]float64) (serve.DatasetInfo, error) {
+func (c *Client) PutDatasetRows(ctx context.Context, name string, rows [][]float64) (serve.DatasetInfo, error) {
 	body, err := json.Marshal(rows)
 	if err != nil {
 		return serve.DatasetInfo{}, err
 	}
 	var info serve.DatasetInfo
-	err = c.do(http.MethodPut, "/datasets/"+name, "application/json", bytes.NewReader(body), &info)
+	err = c.do(ctx, http.MethodPut, "/datasets/"+name, "application/json", bytes.NewReader(body), &info)
 	return info, err
 }
 
 // DropDataset removes a dataset head.
-func (c *Client) DropDataset(name string) error {
-	return c.do(http.MethodDelete, "/datasets/"+name, "", nil, nil)
+func (c *Client) DropDataset(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/datasets/"+name, "", nil, nil)
 }
 
 // Datasets lists the published dataset heads.
-func (c *Client) Datasets() ([]serve.DatasetInfo, error) {
+func (c *Client) Datasets(ctx context.Context) ([]serve.DatasetInfo, error) {
 	var out []serve.DatasetInfo
-	err := c.do(http.MethodGet, "/datasets", "", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/datasets", "", nil, &out)
 	return out, err
 }
 
 // Query runs one query.
-func (c *Client) Query(req *serve.QueryRequest) (*serve.QueryResponse, error) {
+func (c *Client) Query(ctx context.Context, req *serve.QueryRequest) (*serve.QueryResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
 	var resp serve.QueryResponse
-	if err := c.do(http.MethodPost, "/query", "application/json", bytes.NewReader(body), &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/query", "application/json", bytes.NewReader(body), &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // Stats fetches the server's counters.
-func (c *Client) Stats() (serve.Stats, error) {
+func (c *Client) Stats(ctx context.Context) (serve.Stats, error) {
 	var st serve.Stats
-	err := c.do(http.MethodGet, "/stats", "", nil, &st)
+	err := c.do(ctx, http.MethodGet, "/stats", "", nil, &st)
 	return st, err
 }
 
 // Health checks liveness.
-func (c *Client) Health() error {
-	return c.do(http.MethodGet, "/healthz", "", nil, nil)
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", "", nil, nil)
+}
+
+// Ready checks readiness; a non-nil error means the server is up but
+// still restoring (503) or unreachable.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", "", nil, nil)
+}
+
+// Metrics scrapes the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	return c.doRaw(ctx, http.MethodGet, "/metrics", "", nil)
+}
+
+// DebugQueries fetches the slow-query log and trace-sampled queries.
+func (c *Client) DebugQueries(ctx context.Context) (serve.QueryLog, error) {
+	var ql serve.QueryLog
+	err := c.do(ctx, http.MethodGet, "/debug/queries", "", nil, &ql)
+	return ql, err
 }

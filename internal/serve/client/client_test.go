@@ -1,0 +1,98 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A canceled context must abort an in-flight call promptly — the
+// client cannot hang on a stalled server — and the error must satisfy
+// errors.Is(err, context.Canceled) so callers can tell cancellation
+// from a server failure.
+func TestQueryCancellation(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		err := c.Health(ctx)
+		errc <- err
+	}()
+
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled call did not return within 5s")
+	}
+}
+
+// With no caller deadline, the client's fallback timeout must bound
+// the call; the error must report the deadline.
+func TestDefaultTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	c.SetTimeout(50 * time.Millisecond)
+	start := time.Now()
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("call against a stalled server did not time out")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+}
+
+// A caller-supplied deadline wins over the fallback: the fallback
+// must not shorten (or extend) an explicit deadline.
+func TestCallerDeadlineWins(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	c.SetTimeout(time.Nanosecond) // fallback would fail instantly if applied
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("explicit-deadline call failed: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}

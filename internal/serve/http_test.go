@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"strings"
@@ -35,12 +36,13 @@ func TestServerHTTPEndToEnd(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	c := client.New(ts.URL, nil)
+	ctx := context.Background()
 
-	if err := c.Health(); err != nil {
+	if err := c.Health(ctx); err != nil {
 		t.Fatal(err)
 	}
 	rows := httpRandRows(rng, 250, 3)
-	info, err := c.PutDatasetRows("pts", rows)
+	info, err := c.PutDatasetRows(ctx, "pts", rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestServerHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("bad dataset info %+v", info)
 	}
 
-	resp, err := c.Query(&serve.QueryRequest{Dataset: "pts", Problem: "2pc", Radius: 2})
+	resp, err := c.Query(ctx, &serve.QueryRequest{Dataset: "pts", Problem: "2pc", Radius: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestServerHTTPEndToEnd(t *testing.T) {
 	var csv strings.Builder
 	csv.WriteString("x,y\n")
 	csv.WriteString("0.5,1.5\n1.25,-0.75\n2.0,3.0\n")
-	csvInfo, err := c.PutDatasetCSV("csvpts", strings.NewReader(csv.String()))
+	csvInfo, err := c.PutDatasetCSV(ctx, "csvpts", strings.NewReader(csv.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,14 +79,14 @@ func TestServerHTTPEndToEnd(t *testing.T) {
 	}
 
 	// Replace: version advances, old head reclaimed.
-	info2, err := c.PutDatasetRows("pts", httpRandRows(rng, 300, 3))
+	info2, err := c.PutDatasetRows(ctx, "pts", httpRandRows(rng, 300, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info2.Version <= info.Version {
 		t.Fatalf("replacement version %d not after %d", info2.Version, info.Version)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,20 +97,20 @@ func TestServerHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("server counters not populated: %+v", st)
 	}
 
-	if err := c.DropDataset("pts"); err != nil {
+	if err := c.DropDataset(ctx, "pts"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DropDataset("csvpts"); err != nil {
+	if err := c.DropDataset(ctx, "csvpts"); err != nil {
 		t.Fatal(err)
 	}
-	st, err = c.Stats()
+	st, err = c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Registry.SnapshotsCreated != st.Registry.SnapshotsReclaimed {
 		t.Fatalf("refcounts did not drain after drop (stats %+v)", st.Registry)
 	}
-	if _, err := c.Query(&serve.QueryRequest{Dataset: "pts", Problem: "knn"}); err == nil {
+	if _, err := c.Query(ctx, &serve.QueryRequest{Dataset: "pts", Problem: "knn"}); err == nil {
 		t.Fatal("query against dropped dataset did not error")
 	}
 }

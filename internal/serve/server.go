@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/url"
@@ -14,6 +16,7 @@ import (
 
 	"portal/internal/engine"
 	"portal/internal/lang"
+	"portal/internal/metrics"
 	"portal/internal/persist"
 	"portal/internal/problems"
 	"portal/internal/stats"
@@ -45,6 +48,19 @@ type Config struct {
 	// CacheSize bounds the compiled-problem cache (0 means
 	// engine.DefaultCacheSize).
 	CacheSize int
+	// SlowQuery is the slow-query log threshold: queries whose
+	// server-side latency reaches it are captured (with their full
+	// stats report) into a bounded ring served at GET /debug/queries.
+	// 0 disables the slow log.
+	SlowQuery time.Duration
+	// TraceSampleN turns on always-on execution-trace sampling: every
+	// N-th query runs with a trace recorder attached and is captured
+	// (report + Chrome trace JSON) into the sampled ring. 0 disables
+	// sampling; 1 traces every query.
+	TraceSampleN int
+	// QueryLogSize caps each capture ring (slow and sampled); default
+	// 64 entries.
+	QueryLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.QueryLogSize <= 0 {
+		c.QueryLogSize = 64
 	}
 	return c
 }
@@ -133,12 +152,17 @@ type Stats struct {
 
 // pending is one admitted query waiting for its tick.
 type pending struct {
-	item  *engine.BatchItem
-	snap  *Snapshot
-	hit   bool
-	start time.Time
-	batch int
-	done  chan struct{}
+	item     *engine.BatchItem
+	snap     *Snapshot
+	hit      bool
+	start    time.Time
+	admitted time.Time
+	batch    int
+	done     chan struct{}
+	// sampled marks a query picked by the 1-in-N trace sampler; rec
+	// is its (or a Trace-requesting caller's) trace collector.
+	sampled bool
+	rec     *trace.Collector
 }
 
 // Server is the long-lived query engine: registry + compiled-problem
@@ -158,6 +182,19 @@ type Server struct {
 
 	queries atomic.Int64
 	batches atomic.Int64
+
+	// m is the continuous telemetry behind GET /metrics; slow and
+	// sampled are the /debug/queries capture rings; seq drives the
+	// 1-in-N trace sampler.
+	m       *serverMetrics
+	slow    *queryRing
+	sampled *queryRing
+	seq     atomic.Uint64
+
+	// ready gates GET /readyz: servers with a DataDir report ready
+	// only once LoadDataDir has finished restoring snapshots, so a
+	// load balancer never routes to a replica still mmap-restoring.
+	ready atomic.Bool
 }
 
 // NewServer starts a server (its batching goroutine runs until Close).
@@ -169,10 +206,29 @@ func NewServer(cfg Config) *Server {
 		queue: make(chan *pending, 4*cfg.withDefaults().MaxBatch),
 		quit:  make(chan struct{}),
 	}
+	s.slow = newQueryRing(s.cfg.QueryLogSize)
+	s.sampled = newQueryRing(s.cfg.QueryLogSize)
+	s.m = newServerMetrics(s)
+	// A server with a data dir starts unready until LoadDataDir
+	// finishes (or the operator overrides via SetReady); one without
+	// has nothing to restore.
+	s.ready.Store(s.cfg.DataDir == "")
 	s.wg.Add(1)
 	go s.batchLoop()
 	return s
 }
+
+// Metrics exposes the server's metrics registry (the /metrics
+// exposition source; tests and embedding binaries may register their
+// own families on it).
+func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
+
+// Ready reports whether startup restore has completed.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// SetReady overrides the readiness state (embedding servers that
+// manage their own restore sequencing).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // Registry exposes the snapshot registry (tests and the smoke driver
 // assert on its refcounts).
@@ -205,8 +261,14 @@ func (s *Server) PutDataset(name string, data *storage.Storage) (*Snapshot, erro
 		Workers:  s.cfg.Workers,
 	})
 	if s.cfg.DataDir != "" {
-		if err := persist.Save(s.snapshotPath(name), t); err != nil {
+		path := s.snapshotPath(name)
+		saveStart := time.Now()
+		if err := persist.Save(path, t); err != nil {
 			return nil, fmt.Errorf("serve: persist dataset %q: %w", name, err)
+		}
+		s.m.snapSave.Observe(time.Since(saveStart).Nanoseconds())
+		if fi, err := os.Stat(path); err == nil {
+			s.m.snapSaveBytes.Add(fi.Size())
 		}
 	}
 	return s.reg.Put(name, data, t, time.Since(start).Nanoseconds()), nil
@@ -239,6 +301,9 @@ const snapExt = ".snap"
 // reported joined into the returned error alongside the count of
 // datasets restored.
 func (s *Server) LoadDataDir() (int, error) {
+	// However restore ends — clean, partial, or empty — the server is
+	// ready afterwards: it serves whatever restored intact.
+	defer s.ready.Store(true)
 	if s.cfg.DataDir == "" {
 		return 0, nil
 	}
@@ -260,11 +325,14 @@ func (s *Server) LoadDataDir() (int, error) {
 			errs = append(errs, fmt.Errorf("serve: snapshot %s: undecodable name: %w", e.Name(), err))
 			continue
 		}
+		loadStart := time.Now()
 		l, err := persist.Load(filepath.Join(s.cfg.DataDir, e.Name()))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("serve: snapshot %s: %w", e.Name(), err))
 			continue
 		}
+		s.m.snapLoad.Observe(time.Since(loadStart).Nanoseconds())
+		s.m.snapLoadBytes.Add(l.Size)
 		// The loaded tree's storage is the build-time reordered point
 		// set; it serves as the dataset storage directly. Queries are
 		// unaffected: results are reported in original indices via the
@@ -304,12 +372,15 @@ func (s *Server) Query(req *QueryRequest) (*QueryResponse, error) {
 	start := time.Now()
 	snap, ok := s.reg.Acquire(req.Dataset)
 	if !ok {
+		s.m.observeQuery(req.Problem, req.Dataset, outcomeRejected, time.Since(start).Nanoseconds(), nil)
 		return nil, fmt.Errorf("serve: %w %q", ErrUnknownDataset, req.Dataset)
 	}
 	defer snap.Release()
+	s.m.refsHW.Max(snap.Refs())
 
 	p, err := s.prepare(req, snap)
 	if err != nil {
+		s.m.observeQuery(req.Problem, req.Dataset, outcomeRejected, time.Since(start).Nanoseconds(), nil)
 		return nil, err
 	}
 	p.start = start
@@ -318,17 +389,80 @@ func (s *Server) Query(req *QueryRequest) (*QueryResponse, error) {
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
+		s.m.observeQuery(req.Problem, req.Dataset, outcomeRejected, time.Since(start).Nanoseconds(), nil)
 		return nil, fmt.Errorf("serve: server closed")
 	}
+	p.admitted = time.Now()
 	s.queue <- p
 	s.closeMu.RUnlock()
 
 	<-p.done
 	s.queries.Add(1)
+	s.finishQuery(req, p)
 	if p.item.Err != nil {
 		return nil, p.item.Err
 	}
 	return s.respond(req, p)
+}
+
+// Outcome label values — a closed set, per the cardinality rules.
+const (
+	outcomeOK = "ok"
+	// outcomeError marks queries that were admitted but failed in
+	// execution (bind/traverse/finalize).
+	outcomeError = "error"
+	// outcomeRejected marks queries refused before admission (unknown
+	// dataset or problem, malformed points, closed server).
+	outcomeRejected = "rejected"
+)
+
+// finishQuery is the per-query telemetry tail: observe the always-on
+// metrics (allocation-free), then — only for queries that crossed the
+// slow threshold or were trace-sampled — capture a log entry with the
+// full report and any trace.
+func (s *Server) finishQuery(req *QueryRequest, p *pending) {
+	lat := time.Since(p.start)
+	outcome := outcomeOK
+	if p.item.Err != nil {
+		outcome = outcomeError
+	}
+	var rep *stats.Report
+	if p.item.Out != nil {
+		rep = p.item.Out.Report
+	}
+	s.m.observeQuery(req.Problem, req.Dataset, outcome, lat.Nanoseconds(), rep)
+
+	isSlow := s.cfg.SlowQuery > 0 && lat >= s.cfg.SlowQuery
+	if !isSlow && !p.sampled {
+		return
+	}
+	e := QueryLogEntry{
+		Time:      time.Now(),
+		Dataset:   req.Dataset,
+		Problem:   req.Problem,
+		Outcome:   outcome,
+		LatencyNS: lat.Nanoseconds(),
+		BatchSize: p.batch,
+		Sampled:   p.sampled,
+		Report:    rep,
+	}
+	if p.item.Err != nil {
+		e.Error = p.item.Err.Error()
+	}
+	if p.rec != nil {
+		var buf bytes.Buffer
+		if err := p.rec.WriteChromeTrace(&buf); err == nil {
+			e.TraceJSON = json.RawMessage(buf.Bytes())
+		}
+	}
+	if p.sampled {
+		s.m.sampledQueries.Inc()
+		s.sampled.add(e)
+	}
+	if isSlow {
+		s.m.slowQueries.Inc()
+		s.slow.add(e)
+	}
 }
 
 // prepare resolves the request to a compiled problem bound to trees —
@@ -352,9 +486,22 @@ func (s *Server) prepare(req *QueryRequest, snap *Snapshot) (*pending, error) {
 		qt = tree.BuildKD(qd, &tree.Options{LeafSize: s.cfg.LeafSize})
 	}
 
-	cfg := engine.Config{LeafSize: s.cfg.LeafSize, CollectStats: req.Stats || req.Trace}
-	if req.Trace {
-		cfg.Trace = trace.New()
+	// Stats are always collected on the serving path: report assembly
+	// is cheap next to the traversal it describes, and it is what lets
+	// the metrics layer sample traversal counters at query end and the
+	// slow-query log attach a full report — without ever touching the
+	// traversal hot path. The response still carries the report only
+	// when the caller asked.
+	cfg := engine.Config{LeafSize: s.cfg.LeafSize, CollectStats: true}
+	// The 1-in-N sampler: query number seq is sampled when
+	// seq % N == 1 % N, which picks the very first query (fast signal
+	// after startup) and handles N == 1 (trace everything).
+	n := s.cfg.TraceSampleN
+	sampled := n > 0 && s.seq.Add(1)%uint64(n) == 1%uint64(n)
+	var rec *trace.Collector
+	if req.Trace || sampled {
+		rec = trace.New()
+		cfg.Trace = rec
 	}
 
 	var spec *lang.PortalExpr
@@ -398,9 +545,11 @@ func (s *Server) prepare(req *QueryRequest, snap *Snapshot) (*pending, error) {
 		return nil, err
 	}
 	return &pending{
-		item: &engine.BatchItem{P: prob, Qt: qt, Rt: snap.Tree, Cfg: cfg},
-		hit:  hit,
-		done: make(chan struct{}),
+		item:    &engine.BatchItem{P: prob, Qt: qt, Rt: snap.Tree, Cfg: cfg},
+		hit:     hit,
+		done:    make(chan struct{}),
+		sampled: sampled,
+		rec:     rec,
 	}, nil
 }
 
@@ -474,10 +623,12 @@ collect:
 	}
 	timer.Stop()
 
+	s.m.batchSize.Observe(int64(len(batch)))
 	items := make([]*engine.BatchItem, len(batch))
 	for i, p := range batch {
 		items[i] = p.item
 		p.batch = len(batch)
+		s.m.tickWait.Observe(time.Since(p.admitted).Nanoseconds())
 	}
 	engine.ExecuteOnBatch(items, s.cfg.Workers)
 	s.batches.Add(1)

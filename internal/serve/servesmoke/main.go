@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +20,14 @@ import (
 	"syscall"
 	"time"
 
+	"portal/internal/metrics"
 	"portal/internal/serve"
 	"portal/internal/serve/client"
 )
+
+// ctx is the driver-wide context; per-call deadlines come from the
+// client's default timeout.
+var ctx = context.Background()
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
@@ -34,7 +40,9 @@ type portaldProc struct {
 	c   *client.Client
 }
 
-// startPortald launches portald on a free port and waits for health.
+// startPortald launches portald on a free port and waits for
+// readiness via GET /readyz — the same gate a load balancer would use
+// — instead of blind retry-sleeping against the query API.
 func startPortald(portald string, extra ...string) *portaldProc {
 	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "4"}, extra...)
 	cmd := exec.Command(portald, args...)
@@ -69,15 +77,29 @@ func startPortald(portald string, extra ...string) *portaldProc {
 	c := client.New("http://"+addr, nil)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if err := c.Health(); err == nil {
+		if err := c.Ready(ctx); err == nil {
 			break
 		} else if time.Now().After(deadline) {
 			cmd.Process.Kill()
-			fail("server never became healthy: %v", err)
+			fail("server never became ready: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	return &portaldProc{cmd: cmd, c: c}
+}
+
+// scrapeQueries scrapes /metrics, validates the exposition, and
+// returns the portal_queries_total sum across all label sets.
+func scrapeQueries(c *client.Client) float64 {
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		fail("scraping /metrics: %v", err)
+	}
+	e, err := metrics.Validate(body)
+	if err != nil {
+		fail("/metrics exposition does not validate: %v", err)
+	}
+	return e.Sum("portal_queries_total")
 }
 
 // shutdown stops the process via SIGTERM and waits for a clean exit.
@@ -111,7 +133,7 @@ func main() {
 	if err != nil {
 		fail("opening CSV: %v", err)
 	}
-	info, err := c.PutDatasetCSV("smoke", f)
+	info, err := c.PutDatasetCSV(ctx, "smoke", f)
 	f.Close()
 	if err != nil {
 		fail("uploading dataset: %v", err)
@@ -122,19 +144,21 @@ func main() {
 		fail("expected a 10k-point dataset, got n=%d", info.N)
 	}
 
-	// kde and knn, twice each: the repeat must skip Compile.
+	// kde and knn, twice each: the repeat must skip Compile, and the
+	// /metrics query counter must advance by exactly the queries sent.
+	queriesBefore := scrapeQueries(c)
 	for _, req := range []*serve.QueryRequest{
 		{Dataset: "smoke", Problem: "kde", Tau: 1e-3, Stats: true},
 		{Dataset: "smoke", Problem: "knn", K: 5, Stats: true},
 	} {
-		first, err := c.Query(req)
+		first, err := c.Query(ctx, req)
 		if err != nil {
 			fail("%s query: %v", req.Problem, err)
 		}
 		if first.CacheHit {
 			fail("first %s query reported a cache hit", req.Problem)
 		}
-		second, err := c.Query(req)
+		second, err := c.Query(ctx, req)
 		if err != nil {
 			fail("repeat %s query: %v", req.Problem, err)
 		}
@@ -148,7 +172,7 @@ func main() {
 			req.Problem, float64(first.LatencyNS)/1e6, float64(second.LatencyNS)/1e6)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(ctx)
 	if err != nil {
 		fail("stats: %v", err)
 	}
@@ -156,12 +180,21 @@ func main() {
 		fail("server stats report %d cache hits, want >= 2", st.CompileCache.Hits)
 	}
 
+	// The exposition must validate and its query counter must have
+	// advanced by the four queries just issued.
+	queriesAfter := scrapeQueries(c)
+	if got := queriesAfter - queriesBefore; got != 4 {
+		fail("portal_queries_total advanced by %g across kde/knn, want 4", got)
+	}
+	fmt.Printf("servesmoke: /metrics query counters advanced %g -> %g\n",
+		queriesBefore, queriesAfter)
+
 	// Drop the dataset: with no in-flight queries the snapshot's
 	// refcount must drain immediately (and its snapshot file go away).
-	if err := c.DropDataset("smoke"); err != nil {
+	if err := c.DropDataset(ctx, "smoke"); err != nil {
 		fail("dropping dataset: %v", err)
 	}
-	st, err = c.Stats()
+	st, err = c.Stats(ctx)
 	if err != nil {
 		fail("stats after drop: %v", err)
 	}
@@ -179,13 +212,13 @@ func main() {
 	if err != nil {
 		fail("reopening CSV: %v", err)
 	}
-	if _, err := c.PutDatasetCSV("smoke", f); err != nil {
+	if _, err := c.PutDatasetCSV(ctx, "smoke", f); err != nil {
 		f.Close()
 		fail("re-uploading dataset: %v", err)
 	}
 	f.Close()
 	knnReq := &serve.QueryRequest{Dataset: "smoke", Problem: "knn", K: 3}
-	want, err := c.Query(knnReq)
+	want, err := c.Query(ctx, knnReq)
 	if err != nil {
 		fail("pre-restart knn query: %v", err)
 	}
@@ -194,14 +227,14 @@ func main() {
 	restart := time.Now()
 	p2 := startPortald(*portald, "-data-dir", dataDir)
 	defer p2.cmd.Process.Kill()
-	infos, err := p2.c.Datasets()
+	infos, err := p2.c.Datasets(ctx)
 	if err != nil {
 		fail("listing datasets after restart: %v", err)
 	}
 	if len(infos) != 1 || infos[0].Name != "smoke" || infos[0].N != info.N {
 		fail("warm restart did not restore the dataset (got %+v)", infos)
 	}
-	got, err := p2.c.Query(knnReq)
+	got, err := p2.c.Query(ctx, knnReq)
 	if err != nil {
 		fail("post-restart knn query: %v", err)
 	}
