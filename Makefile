@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-serve bench-persist bench-compare stats trace-smoke serve-smoke metrics-smoke
+.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-ilist bench-serve bench-persist bench-compare stats trace-smoke serve-smoke metrics-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
 check: build vet test race trace-smoke serve-smoke metrics-smoke
@@ -43,6 +43,15 @@ bench-basecase:
 bench-traverse:
 	$(GO) run ./cmd/portalbench -experiment traverse -scale 10000 -reps 3 -json BENCH_traverse.json
 
+# Interaction-list benchmark: the ilist schedule (list-building walk +
+# flat kernel sweeps) vs steal+batch for knn/kde/2pc/rs on uniform and
+# Plummer-clustered data, W in {1,2,4,8}; knn is the fallback control.
+# Writes BENCH_ilist.json. reps=5: the two-phase measurement is the
+# most oversubscription-sensitive row set, so best-of needs more
+# samples to converge than the single-phase benches.
+bench-ilist:
+	$(GO) run ./cmd/portalbench -experiment ilist -scale 10000 -reps 5 -json BENCH_ilist.json
+
 # Serving benchmark: p50/p99 latency and QPS vs workers for the
 # portald query path, driven in-process and over HTTP; writes
 # BENCH_serve.json.
@@ -56,11 +65,11 @@ bench-persist:
 	$(GO) run ./cmd/portalbench -experiment persist -reps 3 -json BENCH_persist.json
 
 # Regression gate: rerun the recorded BENCH_treebuild.json,
-# BENCH_basecase.json, BENCH_traverse.json, BENCH_serve.json, and
-# BENCH_persist.json configurations and fail on >25% regression in any
-# (persistence gates on snapshot load time).
+# BENCH_basecase.json, BENCH_traverse.json, BENCH_ilist.json,
+# BENCH_serve.json, and BENCH_persist.json configurations and fail on
+# >25% regression in any (persistence gates on snapshot load time).
 bench-compare:
-	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json,BENCH_persist.json -scale 10000 -reps 3
+	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_ilist.json,BENCH_serve.json,BENCH_persist.json -scale 10000 -reps 3
 
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000

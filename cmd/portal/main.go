@@ -133,7 +133,7 @@ func main() {
 	leaf := flag.Int("leaf", 32, "tree leaf size q")
 	seq := flag.Bool("seq", false, "disable parallel execution")
 	workers := flag.Int("workers", 0, "cap worker goroutines for tree build and traversal (0 = GOMAXPROCS)")
-	schedule := flag.String("schedule", "steal", "parallel traversal scheduler: steal (work-stealing deques) or spawn (fixed spawn depth)")
+	schedule := flag.String("schedule", "steal", "parallel traversal scheduler: steal (work-stealing deques), spawn (fixed spawn depth), or ilist (interaction-list build + flat kernel sweeps)")
 	batch := flag.Bool("batch", false, "defer and batch leaf base cases by reference leaf (steal scheduler, batchable operators only)")
 	statsFlag := flag.Bool("stats", false, "print traversal statistics to stderr after the run")
 	statsJSON := flag.String("stats-json", "", "write traversal statistics as JSON to this file ('-' for stderr)")
@@ -153,9 +153,9 @@ func main() {
 		ref, err = storage.FromCSV(*refPath)
 		fatal(err)
 	}
-	sched, ok := traverse.ParseSchedule(*schedule)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "portal: unknown -schedule %q (want steal or spawn)\n", *schedule)
+	sched, err := traverse.ParseSchedule(*schedule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "portal: %v\n", err)
 		os.Exit(2)
 	}
 	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Workers: *workers, Tau: *tau,

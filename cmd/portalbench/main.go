@@ -11,6 +11,7 @@
 //	portalbench -experiment all [-scale N] [-seq] [-reps R]
 //	portalbench -experiment basecase        # fused vs legacy base-case loops
 //	portalbench -experiment traverse        # steal vs spawn scheduler sweep
+//	portalbench -experiment ilist           # interaction lists vs steal+batch
 //	portalbench -experiment serve           # portald p50/p99 latency and QPS
 //	portalbench -experiment persist         # tree snapshot save/load vs rebuild
 //	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json,BENCH_persist.json
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, serve, persist, stats, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, ilist, serve, persist, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
@@ -136,6 +137,8 @@ func main() {
 				// filename as the old gate did.
 				base := filepath.Base(path)
 				switch {
+				case strings.Contains(base, "ilist"):
+					kind = bench.KindIList
 				case strings.Contains(base, "traverse"):
 					kind = bench.KindTraverse
 				case strings.Contains(base, "basecase"):
@@ -179,6 +182,17 @@ func main() {
 				}
 				fmt.Printf("== Traversal-scheduler regression gate vs %s (tolerance 25%%) ==\n", path)
 				regs := bench.CompareTraverse(o, baseline, 0.25, os.Stdout)
+				gates[path] = regs
+				regressed += len(regs)
+				total += len(baseline)
+			case bench.KindIList:
+				baseline, err := bench.LoadIListBaseline(path)
+				if err != nil {
+					loadFailed(path, err)
+					continue
+				}
+				fmt.Printf("== Interaction-list regression gate vs %s (tolerance 25%%) ==\n", path)
+				regs := bench.CompareIList(o, baseline, 0.25, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -279,6 +293,10 @@ func main() {
 		fmt.Println("== Traversal schedulers (spawn vs steal vs steal+batch) ==")
 		jsonOut = bench.Traverse(o, os.Stdout)
 		jsonKind = bench.KindTraverse
+	case "ilist":
+		fmt.Println("== Interaction-list execution (steal+batch vs ilist) ==")
+		jsonOut = bench.IList(o, os.Stdout)
+		jsonKind = bench.KindIList
 	case "serve":
 		fmt.Println("== Serving path (p50/p99 latency and QPS vs workers) ==")
 		jsonOut = bench.Serve(o, os.Stdout)

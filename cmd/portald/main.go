@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"portal/internal/serve"
+	"portal/internal/traverse"
 )
 
 func main() {
@@ -38,8 +39,13 @@ func main() {
 	traceSample := flag.Int("trace-sample", 128, "trace every Nth query and capture its Chrome trace at GET /debug/queries (0 disables, 1 traces everything)")
 	queryLog := flag.Int("query-log", 64, "entries retained per capture ring (slow and sampled)")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
+	schedule := flag.String("schedule", "steal", "traversal scheduler for served queries: steal (work-stealing deques), spawn (fixed spawn depth), or ilist (interaction-list build + flat kernel sweeps)")
 	flag.Parse()
 
+	sched, err := traverse.ParseSchedule(*schedule)
+	if err != nil {
+		log.Fatalf("portald: %v", err)
+	}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("portald: data dir: %v", err)
@@ -54,6 +60,7 @@ func main() {
 		SlowQuery:    *slowQuery,
 		TraceSampleN: *traceSample,
 		QueryLogSize: *queryLog,
+		Schedule:     sched,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

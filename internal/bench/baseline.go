@@ -28,6 +28,7 @@ const (
 	KindTreeBuild = "treebuild"
 	KindBaseCase  = "basecase"
 	KindTraverse  = "traverse"
+	KindIList     = "ilist"
 	KindServe     = "serve"
 	KindPersist   = "persist"
 )

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"portal/internal/codegen"
+	"portal/internal/engine"
+	"portal/internal/stats"
+	"portal/internal/traverse"
+)
+
+// This file benchmarks the interaction-list execution tier
+// (internal/traverse's ilist schedule) against the best inline
+// configuration, steal+batch: the same walk, but base cases deferred
+// onto per-query-leaf lists and executed as flat branch-free sweeps.
+// knn is included as the fallback control — its shrinking bound
+// refuses lists, so ilist must track steal+batch there rather than
+// beat it.
+
+// IListResult is one configuration's measurement (the
+// BENCH_ilist.json row format).
+type IListResult struct {
+	Problem string `json:"problem"`
+	Dataset string `json:"dataset"` // "uniform" | "plummer"
+	N       int    `json:"n"`
+	Workers int    `json:"workers"`
+	// BatchNS times the steal scheduler with base-case batching (the
+	// strongest inline tier); IListNS times the list-building walk plus
+	// the flat sweep phase end to end.
+	BatchNS int64 `json:"batch_ns"`
+	IListNS int64 `json:"ilist_ns"`
+	// Speedup is BatchNS/IListNS (>1 means lists win).
+	Speedup float64 `json:"speedup"`
+	// Lists/Entries/MaxLen/ListBytes sample the list-phase stats of one
+	// ilist run (zero when the rule falls back, e.g. knn).
+	Lists     int64 `json:"lists"`
+	Entries   int64 `json:"entries"`
+	MaxLen    int64 `json:"max_len"`
+	ListBytes int64 `json:"list_bytes"`
+}
+
+// ilistConfigs is the measured grid: the three list-compatible
+// operator families plus the knn fallback control, on balanced and
+// clustered data.
+var ilistConfigs = []struct {
+	problem string
+	dataset string
+}{
+	{"knn", "uniform"},
+	{"knn", "plummer"},
+	{"kde", "uniform"},
+	{"kde", "plummer"},
+	{"2pc", "uniform"},
+	{"2pc", "plummer"},
+	{"rs", "uniform"},
+	{"rs", "plummer"},
+}
+
+// ilistWorkers is the worker sweep of every configuration.
+var ilistWorkers = []int{1, 2, 4, 8}
+
+// IList runs the interaction-list grid at o.Scale points and reports
+// steal+batch vs ilist traversal times.
+func IList(o Options, w io.Writer) []IListResult {
+	o = o.fill()
+	results := make([]IListResult, 0, len(ilistConfigs)*len(ilistWorkers))
+	for _, c := range ilistConfigs {
+		for _, workers := range ilistWorkers {
+			r := measureIList(o, c.problem, c.dataset, o.Scale, workers)
+			results = append(results, r)
+			if w != nil {
+				fmt.Fprintf(w, "%-3s %-7s N=%-7d W=%-2d batch=%-12v ilist=%-12v speedup=%.2fx lists=%d entries=%d max=%d\n",
+					r.Problem, r.Dataset, r.N, r.Workers,
+					time.Duration(r.BatchNS), time.Duration(r.IListNS),
+					r.Speedup, r.Lists, r.Entries, r.MaxLen)
+			}
+		}
+	}
+	return results
+}
+
+// measureIList times one configuration under steal+batch and under
+// the ilist schedule on identical pre-built trees, then samples one
+// stats-collecting ilist run for the list-shape columns.
+func measureIList(o Options, problem, ds string, n, workers int) IListResult {
+	o = o.fill()
+	data := traverseData(ds, n, o.Seed)
+	spec, tau := baseCaseSpec(problem, data, o.Seed)
+	cfg := engine.Config{
+		LeafSize: o.LeafSize, Tau: tau,
+		Parallel: true, Workers: workers,
+		Codegen: codegen.Options{NoStats: true},
+		Trace:   o.Trace,
+	}
+	p, err := engine.Compile("ilist-"+problem, spec, cfg)
+	if err != nil {
+		panic(err)
+	}
+	qt, rt := p.BuildTrees(cfg)
+	run := func(c engine.Config) int64 {
+		return int64(timeIt(o.Reps, func() {
+			if _, err := p.ExecuteOn(qt, rt, c); err != nil {
+				panic(err)
+			}
+		}))
+	}
+	batchCfg := cfg
+	batchCfg.BatchBaseCases = true
+	batchNS := run(batchCfg)
+	ilistCfg := cfg
+	ilistCfg.Schedule = traverse.ScheduleIList
+	ilistNS := run(ilistCfg)
+
+	// One untimed run with stats on, to report the list shape. NoStats
+	// is a compile-time option, so this takes a stats-enabled sibling
+	// compile over the same pre-built trees.
+	statCfg := ilistCfg
+	statCfg.Codegen.NoStats = false
+	sp, err := engine.Compile("ilist-stats-"+problem, spec, statCfg)
+	if err != nil {
+		panic(err)
+	}
+	sink := &stats.Report{}
+	statCfg.StatsSink = sink
+	if _, err := sp.ExecuteOn(qt, rt, statCfg); err != nil {
+		panic(err)
+	}
+	ts := sink.Traversal
+	return IListResult{
+		Problem: problem, Dataset: ds, N: n, Workers: workers,
+		BatchNS: batchNS, IListNS: ilistNS,
+		Speedup: float64(batchNS) / float64(ilistNS),
+		Lists:   ts.ListsSwept, Entries: ts.ListEntries,
+		MaxLen: ts.ListMaxLen, ListBytes: ts.ListBytes,
+	}
+}
+
+// IListRegression is one configuration whose ilist traversal got
+// slower than the stored baseline allows.
+type IListRegression struct {
+	Problem    string  `json:"problem"`
+	Dataset    string  `json:"dataset"`
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	BaselineNS int64   `json:"baseline_ns"`
+	CurrentNS  int64   `json:"current_ns"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// CompareIList reruns every configuration recorded in baseline (same
+// problem, dataset, N, and workers) and flags the ones whose ilist
+// traversal regressed by more than tol (0.25 = 25% slower).
+// Per-configuration verdicts go to w when non-nil.
+func CompareIList(o Options, baseline []IListResult, tol float64, w io.Writer) []IListRegression {
+	var regs []IListRegression
+	for _, base := range baseline {
+		cur := measureIList(o, base.Problem, base.Dataset, base.N, base.Workers)
+		ratio := float64(cur.IListNS) / float64(base.IListNS)
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSION"
+			regs = append(regs, IListRegression{
+				Problem: base.Problem, Dataset: base.Dataset, N: base.N, Workers: base.Workers,
+				BaselineNS: base.IListNS, CurrentNS: cur.IListNS, Ratio: ratio,
+			})
+		}
+		if w != nil {
+			fmt.Fprintf(w, "%-3s %-7s N=%-8d W=%-2d baseline=%-12v current=%-12v ratio=%.2f %s\n",
+				base.Problem, base.Dataset, base.N, base.Workers,
+				time.Duration(base.IListNS), time.Duration(cur.IListNS), ratio, verdict)
+		}
+	}
+	return regs
+}
+
+// LoadIListBaseline reads a BENCH_ilist.json file (enveloped or
+// legacy bare-array).
+func LoadIListBaseline(path string) ([]IListResult, error) {
+	var baseline []IListResult
+	if err := loadBaseline(path, KindIList, &baseline); err != nil {
+		return nil, err
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("bench: %s: empty baseline", path)
+	}
+	return baseline, nil
+}

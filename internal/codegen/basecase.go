@@ -69,6 +69,35 @@ func (r *Run) BaseCaseBatch(qns []*tree.Node, rn *tree.Node) {
 	}
 }
 
+// ListCompatible reports whether the traversal may defer this Run's
+// base cases into per-query-leaf interaction lists and execute them
+// after the walk (traverse's ListRule capability). The safety
+// condition is Batchable's — no query-node bound consuming
+// per-base-case feedback (KNN's shrinking bound must refuse), a fused
+// loop to sweep with, discovery order preserved under ForceInterp for
+// oracle comparability.
+func (r *Run) ListCompatible() bool {
+	return r.NodeBound == nil && r.fused != nil && !r.Ex.Opts.ForceInterp
+}
+
+// BaseCaseList sweeps one query leaf against every reference leaf on
+// its interaction list in one flat pass — the transpose of
+// BaseCaseBatch: the query tile and its accumulators stay hot across
+// the whole list, and the loop over reference arena IDs is branch-free
+// (the prune/approximate decisions were all made during list
+// building). Only reachable when ListCompatible() returned true, so
+// the dispatch mirrors exactly the fused arm of BaseCase.
+func (r *Run) BaseCaseList(qn *tree.Node, refs []int32) {
+	qc := int64(qn.Count())
+	nodes := r.R.Nodes
+	for _, id := range refs {
+		rn := &nodes[id]
+		r.kernelEvals += qc * int64(rn.Count())
+		r.fusedBaseCases++
+		r.fused(r, qn, rn)
+	}
+}
+
 // euclidBaseCase handles Euclidean-family metrics with the
 // layout-specialized distance loops.
 func (r *Run) euclidBaseCase(qn, rn *tree.Node) {

@@ -101,11 +101,12 @@ func ExecuteOnBatch(items []*BatchItem, workers int) {
 			continue
 		}
 		tItems = append(tItems, &traverse.BatchItem{
-			Q:     it.Qt,
-			R:     it.Rt,
-			Rule:  runs[i],
-			Stats: runs[i].TraversalStats(),
-			Trace: it.Cfg.Trace,
+			Q:        it.Qt,
+			R:        it.Rt,
+			Rule:     runs[i],
+			Stats:    runs[i].TraversalStats(),
+			Trace:    it.Cfg.Trace,
+			Schedule: it.Cfg.Schedule,
 		})
 		live = append(live, i)
 	}

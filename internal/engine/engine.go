@@ -50,9 +50,12 @@ type Config struct {
 	Parallel bool
 	// Workers caps traversal parallelism; 0 means GOMAXPROCS.
 	Workers int
-	// Schedule selects the parallel traversal scheduler; the zero
-	// value is the work-stealing runtime (traverse.ScheduleSteal),
-	// traverse.ScheduleSpawn the legacy fixed spawn-depth scheduler.
+	// Schedule selects the traversal scheduler; the zero value is the
+	// work-stealing runtime (traverse.ScheduleSteal),
+	// traverse.ScheduleSpawn the legacy fixed spawn-depth scheduler,
+	// and traverse.ScheduleIList the two-tier interaction-list
+	// schedule (list-building walk, then flat kernel sweeps; honored
+	// at every worker count, including non-parallel configs).
 	Schedule traverse.Schedule
 	// BatchBaseCases defers leaf base cases into per-worker
 	// reference-leaf interaction buffers (work-stealing scheduler,
@@ -219,10 +222,12 @@ func (p *Problem) ExecuteOn(qt, rt *tree.Tree, cfg Config) (*codegen.Output, err
 // traverseOptions maps the config (and a per-run stats accumulator)
 // onto the traversal runtime's options. A non-parallel config pins
 // Workers to 1 — the sequential path inside RunParallel — while still
-// recording the walk as one root span when tracing is on.
+// recording the walk as one root span when tracing is on. Schedule is
+// kept even then: the interaction-list schedule has a meaningful (and
+// still byte-identical) single-worker form.
 func (c Config) traverseOptions(st *stats.TraversalStats) traverse.Options {
 	if !c.Parallel {
-		return traverse.Options{Workers: 1, Stats: st, Trace: c.Trace}
+		return traverse.Options{Workers: 1, Schedule: c.Schedule, Stats: st, Trace: c.Trace}
 	}
 	return traverse.Options{
 		Workers:        c.Workers,

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"portal/internal/codegen"
+	"portal/internal/expr"
+	"portal/internal/geom"
+	"portal/internal/lang"
+	"portal/internal/stats"
+	"portal/internal/storage"
+	"portal/internal/traverse"
+)
+
+// Differential suite for the interaction-list schedule: for every
+// operator family, tree kind, storage layout, and dimensionality the
+// backend supports, `-schedule ilist` must produce the same answers as
+// the work-stealing schedule — byte-identical for comparative
+// operators (the sweep replays base cases in the discovery order the
+// walk would have used), and within the seq/par tolerance for
+// accumulating ones. Meant to run under -race: the sweep phase shares
+// the pooled list arena across exec workers.
+
+// ilistStorage builds a Storage with an explicit layout (MustFromRows
+// always picks the heuristic layout, which would leave half the matrix
+// untested).
+func ilistStorage(rows [][]float64, l storage.Layout) *storage.Storage {
+	s := storage.NewWithLayout(len(rows), len(rows[0]), l)
+	for i, r := range rows {
+		s.SetPoint(i, r)
+	}
+	return s
+}
+
+// ilistCase is one operator family; build constructs the spec over the
+// given query/reference storages so the same points can be laid out
+// both ways.
+type ilistCase struct {
+	name string
+	tau  float64
+	// sweeps: whether the compiled rule is list-compatible. Comparative
+	// operators carry a shrinking per-node bound (BoundRule), which
+	// makes deferred execution unsound, so they must fall back to the
+	// inline walk; accumulating and range operators sweep lists.
+	sweeps bool
+	build  func(q, r *storage.Storage) *lang.PortalExpr
+}
+
+func ilistCases() []ilistCase {
+	dist := func() *expr.Kernel { return expr.NewDistanceKernel(geom.Euclidean) }
+	mk := func(op lang.Op, k int, kernel func() *expr.Kernel) func(q, r *storage.Storage) *lang.PortalExpr {
+		return func(q, r *storage.Storage) *lang.PortalExpr {
+			spec := (&lang.PortalExpr{}).AddLayer(lang.FORALL, q, nil)
+			if k > 0 {
+				spec.AddLayerK(op, k, r, kernel())
+			} else {
+				spec.AddLayer(op, r, kernel())
+			}
+			return spec
+		}
+	}
+	return []ilistCase{
+		{name: "sum-kde", tau: 1e-4, sweeps: true,
+			build: mk(lang.SUM, 0, func() *expr.Kernel { return expr.NewGaussianKernel(1.0) })},
+		{name: "min", build: mk(lang.MIN, 0, dist)},
+		{name: "argmax", build: mk(lang.ARGMAX, 0, dist)},
+		{name: "kmin", build: mk(lang.KMIN, 4, dist)},
+		{name: "unionarg-range", sweeps: true,
+			build: mk(lang.UNIONARG, 0, func() *expr.Kernel { return expr.NewRangeKernel(0.5, 4.0) })},
+		{name: "scalar-2pc", sweeps: true, build: func(q, r *storage.Storage) *lang.PortalExpr {
+			return (&lang.PortalExpr{}).
+				AddLayer(lang.SUM, q, nil).
+				AddLayer(lang.SUM, r, expr.NewThresholdKernel(2))
+		}},
+	}
+}
+
+// TestIListDifferentialMatrix runs every operator family over
+// kd-tree/octree × row/col-major layouts × d ∈ {1..4} and checks the
+// ilist schedule against both the sequential oracle and the steal
+// schedule.
+func TestIListDifferentialMatrix(t *testing.T) {
+	trees := []struct {
+		name string
+		kind TreeKind
+	}{
+		{"kd", KDTree},
+		{"oct", Octree},
+	}
+	layouts := []struct {
+		name string
+		l    storage.Layout
+	}{
+		{"row", storage.RowMajor},
+		{"col", storage.ColMajor},
+	}
+	for ci, tc := range ilistCases() {
+		tc := tc
+		ci := ci
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, tk := range trees {
+				for _, lay := range layouts {
+					for d := 1; d <= 4; d++ {
+						rng := rand.New(rand.NewSource(int64(900 + 37*ci + d)))
+						qRows := randRows(rng, 180, d, 4)
+						rRows := randRows(rng, 160, d, 4)
+						q := ilistStorage(qRows, lay.l)
+						r := ilistStorage(rRows, lay.l)
+						spec := tc.build(q, r)
+						label := tc.name + "/" + tk.name + "/" + lay.name + "/d=" + string(rune('0'+d))
+
+						cfg := Config{
+							LeafSize: 8, Tau: tc.tau, Tree: tk.kind,
+							Codegen: codegen.Options{ExactMath: true},
+						}
+						seq, err := Run(label+"/seq", spec, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+
+						steal := cfg
+						steal.Parallel = true
+						steal.Workers = 4
+						steal.Schedule = traverse.ScheduleSteal
+						got, err := Run(label+"/steal", spec, steal)
+						if err != nil {
+							t.Fatal(err)
+						}
+						outputsEquivalent(t, label+"/steal", spec, got, seq)
+
+						for _, workers := range []int{1, 4} {
+							il := steal
+							il.Workers = workers
+							il.Schedule = traverse.ScheduleIList
+							sink := &stats.Report{}
+							il.StatsSink = sink
+							got, err := Run(label+"/ilist", spec, il)
+							if err != nil {
+								t.Fatal(err)
+							}
+							outputsEquivalent(t, label+"/ilist", spec, got, seq)
+							ts := &sink.Traversal
+							if tc.sweeps {
+								// List-compatible: the deferred sweep must have
+								// run everything — entries == base cases.
+								if ts.ListsSwept == 0 && ts.BaseCases > 0 {
+									t.Fatalf("%s (w=%d): ilist run swept no lists (base cases %d)",
+										label, workers, ts.BaseCases)
+								}
+								if ts.ListEntries != ts.BaseCases {
+									t.Fatalf("%s (w=%d): ListEntries = %d, want BaseCases = %d",
+										label, workers, ts.ListEntries, ts.BaseCases)
+								}
+							} else if ts.ListsSwept != 0 || ts.ListEntries != 0 {
+								// Bound-carrying rule: must have declined lists.
+								t.Fatalf("%s (w=%d): comparative rule recorded list stats: swept=%d entries=%d",
+									label, workers, ts.ListsSwept, ts.ListEntries)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIListKNNFallback: KNN's shrinking per-node bound (NodeBound)
+// makes deferred execution unsound — the rule must refuse list
+// compatibility, run through the ordinary scheduler, still answer
+// identically, and record zero list stats.
+func TestIListKNNFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	q := storage.MustFromRows(randRows(rng, 300, 3, 5))
+	r := storage.MustFromRows(randRows(rng, 280, 3, 5))
+	// problems.KNNSpec, inlined to avoid the test-only import cycle:
+	// KARGMIN compiles with a shrinking NodeBound.
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayerK(lang.KARGMIN, 5, r, expr.NewDistanceKernel(geom.Euclidean))
+
+	cfg := Config{LeafSize: 16, Codegen: codegen.Options{ExactMath: true}}
+	seq, err := Run("knn/seq", spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		il := cfg
+		il.Parallel = true
+		il.Workers = workers
+		il.Schedule = traverse.ScheduleIList
+		sink := &stats.Report{}
+		il.StatsSink = sink
+		got, err := Run("knn/ilist", spec, il)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputsEquivalent(t, "knn/ilist", spec, got, seq)
+		ts := &sink.Traversal
+		if ts.ListsSwept != 0 || ts.ListEntries != 0 || ts.ListBytes != 0 {
+			t.Errorf("w=%d: KNN fallback recorded list stats: swept=%d entries=%d bytes=%d",
+				workers, ts.ListsSwept, ts.ListEntries, ts.ListBytes)
+		}
+		if ts.BaseCases == 0 {
+			t.Errorf("w=%d: KNN fallback ran no base cases", workers)
+		}
+	}
+}
+
+// TestIListStatsReport: a list-compatible run under the ilist schedule
+// surfaces the list counters through the engine's stats report, and
+// the sweep accounts for exactly the base cases a steal run performs
+// at the same tau (both walks take identical prune decisions).
+func TestIListStatsReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	pts := randRows(rng, 400, 3, 4)
+	q := storage.MustFromRows(pts)
+	r := storage.MustFromRows(randRows(rng, 350, 3, 4))
+	spec := (&lang.PortalExpr{}).
+		AddLayer(lang.FORALL, q, nil).
+		AddLayer(lang.SUM, r, expr.NewGaussianKernel(1.0))
+
+	base := Config{LeafSize: 16, Tau: 1e-4, Parallel: true, Workers: 4,
+		Codegen: codegen.Options{ExactMath: true}}
+
+	stealSink := &stats.Report{}
+	stealCfg := base
+	stealCfg.Schedule = traverse.ScheduleSteal
+	stealCfg.StatsSink = stealSink
+	if _, err := Run("kde/steal", spec, stealCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	ilSink := &stats.Report{}
+	ilCfg := base
+	ilCfg.Schedule = traverse.ScheduleIList
+	ilCfg.StatsSink = ilSink
+	if _, err := Run("kde/ilist", spec, ilCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	st, il := &stealSink.Traversal, &ilSink.Traversal
+	if il.ListsSwept == 0 {
+		t.Fatal("ilist KDE run swept no lists")
+	}
+	if il.ListEntries != st.BaseCases {
+		t.Errorf("ListEntries = %d, want steal-run BaseCases = %d", il.ListEntries, st.BaseCases)
+	}
+	if il.BaseCasePairs != st.BaseCasePairs {
+		t.Errorf("BaseCasePairs = %d vs steal %d", il.BaseCasePairs, st.BaseCasePairs)
+	}
+	if il.ListMaxLen <= 0 || il.ListBytes <= 0 {
+		t.Errorf("list high-water stats missing: max-len=%d bytes=%d", il.ListMaxLen, il.ListBytes)
+	}
+}

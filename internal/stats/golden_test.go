@@ -32,12 +32,15 @@ func goldenReport() *Report {
 			BaseCasePairs:  4000000, PrunedPairs: 56000000, ApproxPairs: 40000000,
 			KernelEvals: 4000800, TasksSpawned: 24, TasksExecuted: 25, TasksStolen: 9,
 			InlineFallbacks: 3, DequeHighWater: 5,
-			BatchFlushes: 40, BatchedBaseCases: 2800, MaxDepth: 9,
+			BatchFlushes: 40, BatchedBaseCases: 2800,
+			ListsSwept: 120, ListEntries: 3000, ListMaxLen: 64, ListBytes: 262144,
+			MaxDepth: 9,
 		},
 		Build:  TreeBuildStats{Workers: 4, TasksSpawned: 6, InlineFallbacks: 1},
 		Phases: Phases{TreeBuild: 12 * time.Millisecond, Traversal: 80 * time.Millisecond, Finalize: time.Millisecond},
 		Trace: &trace.Profile{
-			WallNS: 93000000, Spans: 33, TraverseSpans: 25, BuildSpans: 7,
+			WallNS: 93000000, Spans: 33, TraverseSpans: 21, BuildSpans: 7,
+			ListBuildSpans: 4, ListExecSpans: 1,
 			StolenSpans: 9, MaxWorkers: 4, Utilization: 0.85,
 			BatchSizes: trace.Histogram{
 				Buckets: []trace.HistBucket{{UpToNS: 32, Count: 40}},
@@ -60,7 +63,7 @@ func goldenReport() *Report {
 	}
 }
 
-// TestReportGoldenJSON pins the schema_version=2 JSON wire format.
+// TestReportGoldenJSON pins the schema_version=3 JSON wire format.
 func TestReportGoldenJSON(t *testing.T) {
 	b, err := goldenReport().JSON()
 	if err != nil {
@@ -68,7 +71,7 @@ func TestReportGoldenJSON(t *testing.T) {
 	}
 	b = append(b, '\n')
 
-	golden := filepath.Join("testdata", "report_v2.golden.json")
+	golden := filepath.Join("testdata", "report_v3.golden.json")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

@@ -38,7 +38,13 @@ import (
 // interaction-batching counters (batch_flushes, batched_base_cases),
 // and changed the traverse-span invariant from tasks_spawned+rounds to
 // tasks_executed (see internal/trace).
-const ReportSchemaVersion = 2
+//
+// Version 3: the interaction-list schedule added the list counters
+// (lists_swept, list_entries, list_max_len, list_bytes) and extended
+// the span invariant to traverse + list-build spans == tasks_executed
+// (list-building tasks stand in for traverse tasks one-for-one; the
+// execution phase's list-exec spans are outside the invariant).
+const ReportSchemaVersion = 3
 
 // TraversalStats counts traversal events. Within one task the fields
 // are plain (single-writer); cross-task aggregation goes through
@@ -104,6 +110,20 @@ type TraversalStats struct {
 	// deferred into an interaction buffer and executed by a batch
 	// flush rather than at discovery.
 	BatchedBaseCases int64 `json:"batched_base_cases"`
+	// ListsSwept counts the per-query-leaf interaction lists executed
+	// by the interaction-list schedule's sweep phase (zero unless
+	// Schedule is ilist and the rule is list-compatible); ListEntries
+	// totals the reference leaves those lists held — every deferred
+	// base case appears exactly once, so ListEntries == BaseCases for a
+	// compatible ilist run.
+	ListsSwept  int64 `json:"lists_swept"`
+	ListEntries int64 `json:"list_entries"`
+	// ListMaxLen is the longest single interaction list swept (merged
+	// by maximum, like MaxDepth).
+	ListMaxLen int64 `json:"list_max_len"`
+	// ListBytes is the list arena's memory high-water for the run:
+	// slot-array plus retained per-list capacities (merged by maximum).
+	ListBytes int64 `json:"list_bytes"`
 	// MaxDepth is the deepest recursion level reached (root = 0).
 	MaxDepth int64 `json:"max_depth"`
 }
@@ -128,6 +148,14 @@ func (s *TraversalStats) Add(o *TraversalStats) {
 	}
 	s.BatchFlushes += o.BatchFlushes
 	s.BatchedBaseCases += o.BatchedBaseCases
+	s.ListsSwept += o.ListsSwept
+	s.ListEntries += o.ListEntries
+	if o.ListMaxLen > s.ListMaxLen {
+		s.ListMaxLen = o.ListMaxLen
+	}
+	if o.ListBytes > s.ListBytes {
+		s.ListBytes = o.ListBytes
+	}
 	if o.MaxDepth > s.MaxDepth {
 		s.MaxDepth = o.MaxDepth
 	}
@@ -151,6 +179,10 @@ func (s *TraversalStats) MergeAtomic(dst *TraversalStats) {
 	atomic.AddInt64(&dst.InlineFallbacks, s.InlineFallbacks)
 	atomic.AddInt64(&dst.BatchFlushes, s.BatchFlushes)
 	atomic.AddInt64(&dst.BatchedBaseCases, s.BatchedBaseCases)
+	atomic.AddInt64(&dst.ListsSwept, s.ListsSwept)
+	atomic.AddInt64(&dst.ListEntries, s.ListEntries)
+	atomicMaxInt64(&dst.ListMaxLen, s.ListMaxLen)
+	atomicMaxInt64(&dst.ListBytes, s.ListBytes)
 	atomicMaxInt64(&dst.DequeHighWater, s.DequeHighWater)
 	atomicMaxInt64(&dst.MaxDepth, s.MaxDepth)
 }
@@ -353,6 +385,10 @@ func (r *Report) String() string {
 		t.KernelEvals, t.BaseCases, t.FusedBaseCases, t.TasksSpawned, t.TasksExecuted, t.TasksStolen, t.InlineFallbacks, t.DequeHighWater)
 	if t.BatchFlushes > 0 || t.BatchedBaseCases > 0 {
 		s += fmt.Sprintf("\n  batching: flushes=%d batched base cases=%d", t.BatchFlushes, t.BatchedBaseCases)
+	}
+	if t.ListsSwept > 0 {
+		s += fmt.Sprintf("\n  interaction lists: swept=%d entries=%d max-len=%d arena=%dB",
+			t.ListsSwept, t.ListEntries, t.ListMaxLen, t.ListBytes)
 	}
 	if b := r.Build; b.Workers > 0 {
 		s += fmt.Sprintf("\n  tree build: workers=%d tasks=%d (inline fallbacks: %d)",

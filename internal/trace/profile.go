@@ -92,6 +92,12 @@ type Profile struct {
 	Spans         int `json:"spans"`
 	TraverseSpans int `json:"traverse_spans"`
 	BuildSpans    int `json:"build_spans"`
+	// ListBuildSpans counts the interaction-list schedule's
+	// list-building tasks (they replace traverse spans one-for-one:
+	// TraverseSpans + ListBuildSpans == TasksExecuted); ListExecSpans
+	// counts its per-worker list-execution sweeps.
+	ListBuildSpans int `json:"list_build_spans,omitempty"`
+	ListExecSpans  int `json:"list_exec_spans,omitempty"`
 	// StolenSpans is the number of traverse spans whose task was taken
 	// from another worker's deque (work-stealing scheduler only).
 	StolenSpans int `json:"stolen_spans"`
@@ -138,6 +144,13 @@ func (c *Collector) Profile() *Profile {
 			}
 		case PhaseBuild:
 			p.BuildSpans++
+		case PhaseListBuild:
+			p.ListBuildSpans++
+			if sp.Stolen {
+				p.StolenSpans++
+			}
+		case PhaseListExec:
+			p.ListExecSpans++
 		}
 	}
 	p.TaskDurations = durationHist(durs)
@@ -165,6 +178,10 @@ func (p *Profile) String() string {
 	fmt.Fprintf(&b, "trace: spans=%d (traverse=%d stolen=%d build=%d) wall=%v workers=%d utilization=%.1f%%\n",
 		p.Spans, p.TraverseSpans, p.StolenSpans, p.BuildSpans,
 		time.Duration(p.WallNS).Round(time.Microsecond), p.MaxWorkers, 100*p.Utilization)
+	if p.ListBuildSpans > 0 || p.ListExecSpans > 0 {
+		fmt.Fprintf(&b, "  interaction lists: build spans=%d exec spans=%d\n",
+			p.ListBuildSpans, p.ListExecSpans)
+	}
 	fmt.Fprintf(&b, "  task duration: min=%v mean=%v max=%v\n",
 		time.Duration(p.TaskDurations.MinNS), time.Duration(p.TaskDurations.MeanNS),
 		time.Duration(p.TaskDurations.MaxNS))

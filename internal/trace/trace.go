@@ -47,10 +47,20 @@ const (
 	// PhaseFinalize is the result-assembly phase (push-downs, output
 	// reordering).
 	PhaseFinalize
+	// PhaseListBuild is a list-building traversal task under the
+	// interaction-list schedule: the walk records base cases into
+	// per-query-leaf lists instead of executing them. These spans stand
+	// in for PhaseTraverse spans one-for-one (the spans-vs-tasks
+	// invariant counts both).
+	PhaseListBuild
+	// PhaseListExec is an interaction-list execution sweep: one span
+	// per sweep worker, flushing recorded lists through the fused
+	// kernels. Each swept list is recorded as a Batch.
+	PhaseListExec
 )
 
 // String returns the span name used in exports ("traverse", "build",
-// "finalize").
+// "finalize", "list-build", "list-exec").
 func (p Phase) String() string {
 	switch p {
 	case PhaseTraverse:
@@ -59,6 +69,10 @@ func (p Phase) String() string {
 		return "build"
 	case PhaseFinalize:
 		return "finalize"
+	case PhaseListBuild:
+		return "list-build"
+	case PhaseListExec:
+		return "list-exec"
 	}
 	return "unknown"
 }

@@ -98,6 +98,17 @@ type stealCtx struct {
 	cutoff  int64
 	root    *stats.TraversalStats
 	rec     trace.Recorder
+	// lists, when non-nil, puts the whole walk in list-building mode
+	// (ScheduleIList): leaf base cases are recorded into the shared
+	// interaction lists instead of executing. Appends to one query
+	// leaf's list are safe without further synchronization because
+	// tasks own disjoint query subtrees and a parent's join resolves
+	// before its caller starts a sibling pair over the same subtree —
+	// the join atomics and deque mutex carry the happens-before edges.
+	lists *ilistState
+	// phase labels the walk's top-level trace spans: PhaseTraverse
+	// normally, PhaseListBuild when lists is set.
+	phase trace.Phase
 	// done closes after worker 0's root walk returns. The root walk
 	// cannot return until every join it transitively created resolved,
 	// and a join resolves only after each of its tasks was removed
@@ -137,18 +148,25 @@ type stealWorker struct {
 // runSteal executes the traversal on workers >= 2 under the
 // work-stealing scheduler. The calling goroutine is worker 0 and walks
 // the root pair; workers 1..W-1 start with empty deques and live by
-// stealing.
-func runSteal(q, r *tree.Tree, rule Rule, workers int, opts Options) {
+// stealing. A non-nil lists runs the walk as ScheduleIList's
+// list-building phase: base cases are deferred into lists (batching is
+// moot and stays off) and spans are labeled PhaseListBuild.
+func runSteal(q, r *tree.Tree, rule Rule, workers int, opts Options, lists *ilistState) {
 	sc := &stealCtx{
 		workers: workers,
 		cutoff:  stealCutoff(q, r, workers),
 		root:    opts.Stats,
 		rec:     opts.Trace,
+		lists:   lists,
+		phase:   trace.PhaseTraverse,
 		done:    make(chan struct{}),
 		ws:      make([]*stealWorker, workers),
 	}
+	if lists != nil {
+		sc.phase = trace.PhaseListBuild
+	}
 	batching := false
-	if opts.BatchBaseCases {
+	if lists == nil && opts.BatchBaseCases {
 		if br, ok := rule.(BatchableRule); ok && br.Batchable() {
 			batching = true
 		}
@@ -182,7 +200,7 @@ func runSteal(q, r *tree.Tree, rule Rule, workers int, opts Options) {
 	}
 	w0 := sc.ws[0]
 	if sc.rec != nil {
-		w0.tt = sc.rec.TaskBegin(trace.PhaseTraverse, 0)
+		w0.tt = sc.rec.TaskBegin(sc.phase, 0)
 	}
 	if w0.st != nil {
 		w0.st.TasksExecuted++
@@ -232,7 +250,7 @@ func (w *stealWorker) runTop(t task, stolen bool) {
 		w.st.TasksExecuted++
 	}
 	if w.sc.rec != nil {
-		w.tt = w.sc.rec.TaskBegin(trace.PhaseTraverse, t.depth)
+		w.tt = w.sc.rec.TaskBegin(w.sc.phase, t.depth)
 		if stolen {
 			w.tt.MarkStolen()
 		}
@@ -316,9 +334,12 @@ func (w *stealWorker) pair(qn, rn *tree.Node, depth int) {
 	}
 	if qn.IsLeaf() && rn.IsLeaf() {
 		recBase(st, tt, depth, qn, rn)
-		if w.batch != nil {
+		switch {
+		case w.sc.lists != nil:
+			w.sc.lists.record(qn, rn)
+		case w.batch != nil:
 			w.bufferBase(qn, rn)
-		} else {
+		default:
 			w.rule.BaseCase(qn, rn)
 		}
 		return

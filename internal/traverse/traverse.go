@@ -32,6 +32,7 @@
 package traverse
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -101,7 +102,7 @@ func runSeq(q, r *tree.Tree, rule Rule, st *stats.TraversalStats, rec trace.Reco
 	if st != nil {
 		st.TasksExecuted++
 	}
-	dual(q.Root, r.Root, rule, ord, 0, st, tt)
+	dual(q.Root, r.Root, rule, ord, 0, st, tt, nil)
 	if st != nil {
 		flushRule(rule, st)
 	}
@@ -174,8 +175,10 @@ func recBase(st *stats.TraversalStats, tt *trace.Task, depth int, qn, rn *tree.N
 // dual is Algorithm 1. The power-set of child tuples is materialized
 // implicitly by the nested loops over each node's split set. tt is
 // the current task's trace buffer (nil when tracing is off); like st
-// it is single-writer for the task's lifetime.
-func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, depth int, st *stats.TraversalStats, tt *trace.Task) {
+// it is single-writer for the task's lifetime. ls, when non-nil, puts
+// the walk in list-building mode: leaf base cases are recorded into
+// the interaction lists instead of executing (see ilist.go).
+func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, depth int, st *stats.TraversalStats, tt *trace.Task, ls *ilistState) {
 	if st != nil && int64(depth) > st.MaxDepth {
 		st.MaxDepth = int64(depth)
 	}
@@ -196,19 +199,23 @@ func dual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, depth int, st *stats.T
 	}
 	if qn.IsLeaf() && rn.IsLeaf() {
 		recBase(st, tt, depth, qn, rn)
-		rule.BaseCase(qn, rn)
+		if ls != nil {
+			ls.record(qn, rn)
+		} else {
+			rule.BaseCase(qn, rn)
+		}
 		return
 	}
 	qsplit := split(qn)
 	rsplit := split(rn)
 	for _, qc := range qsplit {
 		if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-			dual(qc, rsplit[1], rule, ord, depth+1, st, tt)
-			dual(qc, rsplit[0], rule, ord, depth+1, st, tt)
+			dual(qc, rsplit[1], rule, ord, depth+1, st, tt, ls)
+			dual(qc, rsplit[0], rule, ord, depth+1, st, tt, ls)
 			continue
 		}
 		for _, rc := range rsplit {
-			dual(qc, rc, rule, ord, depth+1, st, tt)
+			dual(qc, rc, rule, ord, depth+1, st, tt, ls)
 		}
 	}
 	rule.PostChildren(qn)
@@ -236,25 +243,51 @@ const (
 	// query-side goroutine spawns down to SpawnDepth behind a
 	// workers-1 semaphore, everything below inline.
 	ScheduleSpawn
+	// ScheduleIList separates the traversal into two tiers: a
+	// list-building walk (under the work-stealing runtime, or
+	// sequential for one worker) that defers every leaf base case into
+	// per-query-leaf interaction lists, then an execution phase that
+	// sweeps each list as one flat pass through the backend's fused
+	// kernels. Rules that cannot defer base cases (ListRule absent or
+	// ListCompatible false) fall back to the plain scheduler. See
+	// ilist.go.
+	ScheduleIList
 )
 
 // String names the schedule for flags and reports.
 func (s Schedule) String() string {
-	if s == ScheduleSpawn {
+	switch s {
+	case ScheduleSpawn:
 		return "spawn"
+	case ScheduleIList:
+		return "ilist"
 	}
 	return "steal"
 }
 
-// ParseSchedule maps the flag spelling to a Schedule.
-func ParseSchedule(s string) (Schedule, bool) {
+// UnknownScheduleError reports a schedule spelling ParseSchedule does
+// not recognize.
+type UnknownScheduleError struct {
+	Name string
+}
+
+func (e *UnknownScheduleError) Error() string {
+	return fmt.Sprintf("traverse: unknown schedule %q (want steal, spawn, or ilist)", e.Name)
+}
+
+// ParseSchedule maps the flag spelling to a Schedule. The empty string
+// is the default (steal); any other unrecognized spelling returns an
+// *UnknownScheduleError.
+func ParseSchedule(s string) (Schedule, error) {
 	switch s {
 	case "steal", "":
-		return ScheduleSteal, true
+		return ScheduleSteal, nil
 	case "spawn":
-		return ScheduleSpawn, true
+		return ScheduleSpawn, nil
+	case "ilist":
+		return ScheduleIList, nil
 	}
-	return ScheduleSteal, false
+	return ScheduleSteal, &UnknownScheduleError{Name: s}
 }
 
 // Options configure the parallel traversal.
@@ -323,19 +356,26 @@ type parCtx struct {
 // subtrees: all per-query and per-query-node state is then written by
 // exactly one task, while the reference tree is shared read-only.
 //
-// Workers == 1 always takes the sequential path — byte-identical to
-// RunStats regardless of Schedule or BatchBaseCases.
+// Workers == 1 takes the sequential path — byte-identical to RunStats
+// regardless of BatchBaseCases — except under ScheduleIList, which
+// keeps its two-tier build/sweep structure at every worker count (the
+// answers are still byte-identical: one worker preserves the exact
+// sequential discovery order within every list).
 func RunParallel(q, r *tree.Tree, rule Rule, opts Options) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Schedule == ScheduleIList {
+		runIList(q, r, rule, workers, opts)
+		return
 	}
 	if workers == 1 {
 		runSeq(q, r, rule, opts.Stats, opts.Trace)
 		return
 	}
 	if opts.Schedule != ScheduleSpawn {
-		runSteal(q, r, rule, workers, opts)
+		runSteal(q, r, rule, workers, opts, nil)
 		return
 	}
 	depth := opts.SpawnDepth
@@ -406,12 +446,12 @@ func parDual(qn, rn *tree.Node, rule Rule, ord ChildOrderer, spawnDepth, depth i
 	if spawnDepth <= 0 || len(qsplit) < 2 {
 		for _, qc := range qsplit {
 			if ord != nil && len(rsplit) == 2 && ord.SwapRefChildren(qc, rsplit[0], rsplit[1]) {
-				dual(qc, rsplit[1], rule, ord, depth+1, st, tt)
-				dual(qc, rsplit[0], rule, ord, depth+1, st, tt)
+				dual(qc, rsplit[1], rule, ord, depth+1, st, tt, nil)
+				dual(qc, rsplit[0], rule, ord, depth+1, st, tt, nil)
 				continue
 			}
 			for _, rc := range rsplit {
-				dual(qc, rc, rule, ord, depth+1, st, tt)
+				dual(qc, rc, rule, ord, depth+1, st, tt, nil)
 			}
 		}
 		rule.PostChildren(qn)
