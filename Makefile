@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-ilist bench-serve bench-persist bench-compare stats trace-smoke serve-smoke metrics-smoke
+.PHONY: check build vet test race bench bench-tree bench-basecase bench-traverse bench-ilist bench-serve bench-persist bench-shard bench-compare stats trace-smoke serve-smoke metrics-smoke shard-smoke
 
 # Tier-1 gate: everything must pass before a change lands.
-check: build vet test race trace-smoke serve-smoke metrics-smoke
+check: build vet test race trace-smoke serve-smoke metrics-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 # shared mmap state) lives; run them under the race detector
 # explicitly.
 race:
-	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/... ./internal/serve/... ./internal/persist/... ./internal/metrics/...
+	$(GO) test -race ./internal/traverse/... ./internal/engine/... ./internal/tree/... ./internal/trace/... ./internal/serve/... ./internal/persist/... ./internal/metrics/... ./internal/shard/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -64,12 +64,24 @@ bench-serve:
 bench-persist:
 	$(GO) run ./cmd/portalbench -experiment persist -reps 3 -json BENCH_persist.json
 
+# Sharded-execution benchmark: unsharded single tree vs K spatial
+# shards with locally-essential-tree boundary exchange, kde/knn on
+# uniform and clustered data, K in {1,2,4,8} x W in {1,4}; writes
+# BENCH_shard.json with exchange_summary_bytes columns. The embedded
+# 50% tolerance loosens the gate for this experiment: shard-parallel
+# timings flap hard on single-CPU runners where the K-way concurrency
+# cannot pay for the exchange.
+bench-shard:
+	$(GO) run ./cmd/portalbench -experiment shard -scale 10000 -reps 3 -baseline-tol 0.5 -json BENCH_shard.json
+
 # Regression gate: rerun the recorded BENCH_treebuild.json,
 # BENCH_basecase.json, BENCH_traverse.json, BENCH_ilist.json,
-# BENCH_serve.json, and BENCH_persist.json configurations and fail on
-# >25% regression in any (persistence gates on snapshot load time).
+# BENCH_serve.json, BENCH_persist.json, and BENCH_shard.json
+# configurations and fail on regression past tolerance in any (25%
+# default; a baseline-embedded tolerance, e.g. shard's 50%, overrides
+# for its own gate; persistence gates on snapshot load time).
 bench-compare:
-	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_ilist.json,BENCH_serve.json,BENCH_persist.json -scale 10000 -reps 3
+	$(GO) run ./cmd/portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_ilist.json,BENCH_serve.json,BENCH_persist.json,BENCH_shard.json -scale 10000 -reps 3
 
 stats:
 	$(GO) run ./cmd/portalbench -stats -scale 10000
@@ -111,3 +123,14 @@ metrics-smoke:
 	$(GO) build -o /tmp/portal-metrics-smoke/portald ./cmd/portald
 	$(GO) run ./internal/serve/metricsmoke \
 		-portald /tmp/portal-metrics-smoke/portald -csv /tmp/portal-metrics-smoke/data.csv
+
+# End-to-end sharded-execution smoke test: in-process differential
+# (unsharded vs 4-shard LET exchange on clustered data, knn bit-exact
+# and kde within the tau budget), then the same differential against a
+# real portald -shards 4, asserting the per-shard /metrics families.
+shard-smoke:
+	@mkdir -p /tmp/portal-shard-smoke
+	$(GO) run ./cmd/portalgen -dataset Clustered -n 10000 -clusters 8 -seed 1 -o /tmp/portal-shard-smoke/data.csv
+	$(GO) build -o /tmp/portal-shard-smoke/portald ./cmd/portald
+	$(GO) run ./internal/shard/shardsmoke \
+		-portald /tmp/portal-shard-smoke/portald -csv /tmp/portal-shard-smoke/data.csv

@@ -135,6 +135,7 @@ func main() {
 	workers := flag.Int("workers", 0, "cap worker goroutines for tree build and traversal (0 = GOMAXPROCS)")
 	schedule := flag.String("schedule", "steal", "parallel traversal scheduler: steal (work-stealing deques), spawn (fixed spawn depth), or ilist (interaction-list build + flat kernel sweeps)")
 	batch := flag.Bool("batch", false, "defer and batch leaf base cases by reference leaf (steal scheduler, batchable operators only)")
+	shards := flag.Int("shards", 0, "spatial shard count for sharded execution with locally-essential-tree boundary exchange (0/1 = unsharded)")
 	statsFlag := flag.Bool("stats", false, "print traversal statistics to stderr after the run")
 	statsJSON := flag.String("stats-json", "", "write traversal statistics as JSON to this file ('-' for stderr)")
 	traceOut := flag.String("trace", "", "write an execution trace (Chrome trace-event JSON) to this file")
@@ -159,7 +160,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := nbody.Config{LeafSize: *leaf, Parallel: !*seq, Workers: *workers, Tau: *tau,
-		Schedule: sched, BatchBaseCases: *batch}
+		Schedule: sched, BatchBaseCases: *batch, Shards: *shards}
 	var sink *stats.Report
 	if *statsFlag || *statsJSON != "" {
 		sink = &stats.Report{}

@@ -14,13 +14,16 @@
 //	portalbench -experiment ilist           # interaction lists vs steal+batch
 //	portalbench -experiment serve           # portald p50/p99 latency and QPS
 //	portalbench -experiment persist         # tree snapshot save/load vs rebuild
-//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json,BENCH_persist.json
+//	portalbench -experiment shard           # sharded execution vs single tree
+//	portalbench -compare BENCH_treebuild.json,BENCH_basecase.json,BENCH_traverse.json,BENCH_serve.json,BENCH_persist.json,BENCH_shard.json
 //	    # regression gate: rerun each named baseline, dispatched by the
 //	    # "experiment" discriminator embedded in the file (legacy
 //	    # bare-array files fall back to filename matching). A baseline
 //	    # that fails to load is reported and counted as a failure
 //	    # without aborting the remaining gates; the run exits 1 if any
-//	    # configuration regressed >25% or any baseline failed to load
+//	    # configuration regressed past tolerance (-tol, default 25%,
+//	    # overridden per file by a baseline-embedded tolerance) or any
+//	    # baseline failed to load
 //
 // -workers caps worker goroutines in every experiment's tree build and
 // traversal. -json FILE writes the machine-readable form of any
@@ -46,7 +49,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, ilist, serve, persist, stats, or all")
+		"table2, table4, table4-loc, table5, crossover, leafsweep, workersweep, tausweep, treebuild, basecase, traverse, ilist, serve, persist, shard, stats, or all")
 	scale := flag.Int("scale", 20000, "points per dataset")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	seq := flag.Bool("seq", false, "disable parallel traversal")
@@ -57,7 +60,9 @@ func main() {
 	statsFlag := flag.Bool("stats", false,
 		"run the traversal-statistics experiment: human-readable reports to stderr, JSON array to stdout")
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable JSON to this file (any experiment)")
-	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json, BENCH_basecase.json, BENCH_traverse.json, BENCH_serve.json, and/or BENCH_persist.json); exits non-zero on >25% regression or any baseline load failure")
+	compare := flag.String("compare", "", "comma-separated baseline files to gate against (BENCH_treebuild.json, BENCH_basecase.json, BENCH_traverse.json, BENCH_serve.json, BENCH_persist.json, and/or BENCH_shard.json); exits non-zero on regression past tolerance or any baseline load failure")
+	tolFlag := flag.Float64("tol", 0.25, "default regression tolerance for -compare (0.25 = 25% slower allowed); a baseline file with an embedded tolerance overrides this for its own gate")
+	baselineTol := flag.Float64("baseline-tol", 0, "embed this regression tolerance into the baseline written by -json (0 = none; compare gates then use their default)")
 	traceOut := flag.String("trace", "", "write an execution trace of the Portal-side runs (Chrome trace-event JSON) to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	flag.Parse()
@@ -139,6 +144,8 @@ func main() {
 				switch {
 				case strings.Contains(base, "ilist"):
 					kind = bench.KindIList
+				case strings.Contains(base, "shard"):
+					kind = bench.KindShard
 				case strings.Contains(base, "traverse"):
 					kind = bench.KindTraverse
 				case strings.Contains(base, "basecase"):
@@ -151,6 +158,15 @@ func main() {
 					kind = bench.KindTreeBuild
 				}
 			}
+			// Per-gate tolerance: the baseline's embedded value wins
+			// over the -tol default, so flap-prone experiments (e.g.
+			// parallel speedups on single-CPU runners) carry their own
+			// slack without every caller remembering a flag.
+			tol := *tolFlag
+			if t, terr := bench.BaselineTolerance(path); terr == nil && t > 0 {
+				tol = t
+			}
+			tolPct := tol * 100
 			switch kind {
 			case bench.KindTreeBuild:
 				baseline, err := bench.LoadTreeBuildBaseline(path)
@@ -158,8 +174,8 @@ func main() {
 					loadFailed(path, err)
 					continue
 				}
-				fmt.Printf("== Tree-build regression gate vs %s (tolerance 25%%) ==\n", path)
-				regs := bench.CompareTreeBuild(o, baseline, 0.25, os.Stdout)
+				fmt.Printf("== Tree-build regression gate vs %s (tolerance %.0f%%) ==\n", path, tolPct)
+				regs := bench.CompareTreeBuild(o, baseline, tol, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -169,8 +185,8 @@ func main() {
 					loadFailed(path, err)
 					continue
 				}
-				fmt.Printf("== Base-case regression gate vs %s (tolerance 25%%) ==\n", path)
-				regs := bench.CompareBaseCase(o, baseline, 0.25, os.Stdout)
+				fmt.Printf("== Base-case regression gate vs %s (tolerance %.0f%%) ==\n", path, tolPct)
+				regs := bench.CompareBaseCase(o, baseline, tol, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -180,8 +196,8 @@ func main() {
 					loadFailed(path, err)
 					continue
 				}
-				fmt.Printf("== Traversal-scheduler regression gate vs %s (tolerance 25%%) ==\n", path)
-				regs := bench.CompareTraverse(o, baseline, 0.25, os.Stdout)
+				fmt.Printf("== Traversal-scheduler regression gate vs %s (tolerance %.0f%%) ==\n", path, tolPct)
+				regs := bench.CompareTraverse(o, baseline, tol, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -191,8 +207,8 @@ func main() {
 					loadFailed(path, err)
 					continue
 				}
-				fmt.Printf("== Interaction-list regression gate vs %s (tolerance 25%%) ==\n", path)
-				regs := bench.CompareIList(o, baseline, 0.25, os.Stdout)
+				fmt.Printf("== Interaction-list regression gate vs %s (tolerance %.0f%%) ==\n", path, tolPct)
+				regs := bench.CompareIList(o, baseline, tol, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -202,8 +218,8 @@ func main() {
 					loadFailed(path, err)
 					continue
 				}
-				fmt.Printf("== Serving-path regression gate vs %s (p50, tolerance 25%%) ==\n", path)
-				regs := bench.CompareServe(o, baseline, 0.25, os.Stdout)
+				fmt.Printf("== Serving-path regression gate vs %s (p50, tolerance %.0f%%) ==\n", path, tolPct)
+				regs := bench.CompareServe(o, baseline, tol, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -213,8 +229,19 @@ func main() {
 					loadFailed(path, err)
 					continue
 				}
-				fmt.Printf("== Persistence regression gate vs %s (load time, tolerance 25%%) ==\n", path)
-				regs := bench.ComparePersist(o, baseline, 0.25, os.Stdout)
+				fmt.Printf("== Persistence regression gate vs %s (load time, tolerance %.0f%%) ==\n", path, tolPct)
+				regs := bench.ComparePersist(o, baseline, tol, os.Stdout)
+				gates[path] = regs
+				regressed += len(regs)
+				total += len(baseline)
+			case bench.KindShard:
+				baseline, err := bench.LoadShardBaseline(path)
+				if err != nil {
+					loadFailed(path, err)
+					continue
+				}
+				fmt.Printf("== Sharded-execution regression gate vs %s (tolerance %.0f%%) ==\n", path, tolPct)
+				regs := bench.CompareShard(o, baseline, tol, os.Stdout)
 				gates[path] = regs
 				regressed += len(regs)
 				total += len(baseline)
@@ -305,6 +332,10 @@ func main() {
 		fmt.Println("== Tree persistence (snapshot save/load vs rebuild) ==")
 		jsonOut = bench.Persist(o, os.Stdout)
 		jsonKind = bench.KindPersist
+	case "shard":
+		fmt.Println("== Sharded execution (unsharded vs K-shard LET exchange) ==")
+		jsonOut = bench.Shard(o, os.Stdout)
+		jsonKind = bench.KindShard
 	case "treebuild":
 		fmt.Println("== Tree construction (serial vs parallel arena build) ==")
 		results := bench.TreeBuild(o, *workers, os.Stdout)
@@ -336,7 +367,7 @@ func main() {
 		fmt.Print(s)
 	}
 	if jsonKind != "" && *jsonPath != "" {
-		b, err := bench.MarshalBaseline(jsonKind, jsonOut)
+		b, err := bench.MarshalBaselineTol(jsonKind, *baselineTol, jsonOut)
 		fail(err)
 		fail(os.WriteFile(*jsonPath, append(b, '\n'), 0o644))
 	} else {

@@ -40,6 +40,7 @@ func main() {
 	queryLog := flag.Int("query-log", 64, "entries retained per capture ring (slow and sampled)")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 	schedule := flag.String("schedule", "steal", "traversal scheduler for served queries: steal (work-stealing deques), spawn (fixed spawn depth), or ilist (interaction-list build + flat kernel sweeps)")
+	shards := flag.Int("shards", 0, "spatial shard count: datasets publish with pre-built sharded partitions and queries run through the locally-essential-tree exchange tier (0/1 = unsharded)")
 	flag.Parse()
 
 	sched, err := traverse.ParseSchedule(*schedule)
@@ -61,6 +62,7 @@ func main() {
 		TraceSampleN: *traceSample,
 		QueryLogSize: *queryLog,
 		Schedule:     sched,
+		Shards:       *shards,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -9,7 +9,11 @@
 //
 // Besides the Table II names, the auxiliary "Plummer" dataset
 // generates a 3-d Plummer sphere — the clustered N-body initial
-// condition used by the traversal-scheduler benchmarks.
+// condition used by the traversal-scheduler benchmarks — and the
+// auxiliary "Clustered" dataset generates an unbalanced Gaussian
+// mixture (-dim dimensions, -clusters components), the
+// shard-imbalance stress shape used by the sharded execution tier's
+// benchmarks and smoke tests.
 package main
 
 import (
@@ -23,9 +27,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list Table II datasets")
-	name := flag.String("dataset", "", "dataset to generate (see -list; also: Plummer)")
+	name := flag.String("dataset", "", "dataset to generate (see -list; also: Plummer, Clustered)")
 	n := flag.Int("n", 20000, "number of points")
 	seed := flag.Int64("seed", 1, "generator seed")
+	dim := flag.Int("dim", 3, "dimensions (Clustered only)")
+	clusters := flag.Int("clusters", 8, "mixture components (Clustered only)")
 	out := flag.String("o", "", "output CSV path (default stdout)")
 	flag.Parse()
 
@@ -40,6 +46,8 @@ func main() {
 	var s *storage.Storage
 	if *name == "Plummer" {
 		s = dataset.GeneratePlummer(*n, *seed)
+	} else if *name == "Clustered" {
+		s = dataset.GenerateClustered(*n, *dim, *clusters, *seed)
 	} else {
 		var err error
 		s, err = dataset.Generate(*name, *n, *seed)

@@ -19,8 +19,15 @@ import (
 
 // Envelope is the on-disk baseline wrapper.
 type Envelope struct {
-	Experiment string          `json:"experiment"`
-	Results    json.RawMessage `json:"results"`
+	Experiment string `json:"experiment"`
+	// Tolerance, when positive, is the regression tolerance the gate
+	// should apply to this baseline (0.5 = 50% slower allowed),
+	// overriding the gate's default. Experiments whose timings flap on
+	// constrained machines (e.g. parallel speedups on a single-CPU CI
+	// runner) embed a looser value at baseline-write time instead of
+	// every comparer having to remember the right flag.
+	Tolerance float64         `json:"tolerance,omitempty"`
+	Results   json.RawMessage `json:"results"`
 }
 
 // Baseline experiment kinds.
@@ -31,15 +38,43 @@ const (
 	KindIList     = "ilist"
 	KindServe     = "serve"
 	KindPersist   = "persist"
+	KindShard     = "shard"
 )
 
 // MarshalBaseline renders results as an enveloped baseline document.
 func MarshalBaseline(experiment string, results any) ([]byte, error) {
+	return MarshalBaselineTol(experiment, 0, results)
+}
+
+// MarshalBaselineTol is MarshalBaseline with an embedded per-baseline
+// regression tolerance (0 omits the field and keeps the gate default).
+func MarshalBaselineTol(experiment string, tolerance float64, results any) ([]byte, error) {
 	raw, err := json.MarshalIndent(results, "  ", "  ")
 	if err != nil {
 		return nil, err
 	}
-	return json.MarshalIndent(Envelope{Experiment: experiment, Results: raw}, "", "  ")
+	return json.MarshalIndent(Envelope{Experiment: experiment, Tolerance: tolerance, Results: raw}, "", "  ")
+}
+
+// BaselineTolerance reads just the embedded tolerance of a baseline
+// file: 0 when the file is legacy bare-array or carries none.
+func BaselineTolerance(path string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		return 0, nil
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return 0, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if env.Tolerance < 0 {
+		return 0, fmt.Errorf("bench: %s: negative baseline tolerance %g", path, env.Tolerance)
+	}
+	return env.Tolerance, nil
 }
 
 // BaselineKind reads just the discriminator of a baseline file:

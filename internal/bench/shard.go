@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"portal/internal/codegen"
+	"portal/internal/dataset"
+	"portal/internal/engine"
+	"portal/internal/stats"
+	"portal/internal/storage"
+)
+
+// This file benchmarks the spatially sharded execution tier
+// (internal/shard): the reference set split into K spatial shards with
+// independently built trees, shard-local traversals, and a
+// locally-essential-tree boundary exchange stitching the shards back
+// together. The unsharded single-tree run is the control; the
+// exchange_summary_bytes column is the communication volume the LET
+// pruning achieves (the paper-relevant metric — a multi-process port
+// would ship exactly these bytes).
+
+// ShardResult is one configuration's measurement (the
+// BENCH_shard.json row format).
+type ShardResult struct {
+	Problem string `json:"problem"`
+	Dataset string `json:"dataset"` // "uniform" | "clustered"
+	N       int    `json:"n"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+	// UnshardedNS times the single-tree run; ShardedNS times the
+	// sharded run over pre-built partitions (local traversals +
+	// exchange + import traversals + merge), matching the serving
+	// path's steady state where partitions are built once at publish.
+	UnshardedNS int64 `json:"unsharded_ns"`
+	ShardedNS   int64 `json:"sharded_ns"`
+	// Speedup is UnshardedNS/ShardedNS (>1 means sharding wins).
+	Speedup float64 `json:"speedup"`
+	// Splitter reports which domain splitter ran ("morton" | "orb").
+	Splitter string `json:"splitter"`
+	// ExchangeSummaryBytes is the total locally-essential-tree summary
+	// volume shipped between shards; ImportedPoints/ImportedAggregates
+	// break it into verbatim boundary points vs pruned-summary entries.
+	ExchangeSummaryBytes int64 `json:"exchange_summary_bytes"`
+	ImportedPoints       int64 `json:"imported_points"`
+	ImportedAggregates   int64 `json:"imported_aggregates"`
+}
+
+// shardConfigs is the measured grid: an approximating operator (kde,
+// whose τ rule turns far shards into aggregate summaries) and a
+// comparative one (knn, whose shrinking bound ships verbatim boundary
+// points), each on balanced and clustered data. Clustered data is the
+// stress case for the Morton splitter's equal-count cuts.
+var shardConfigs = []struct {
+	problem string
+	dataset string
+}{
+	{"kde", "uniform"},
+	{"kde", "clustered"},
+	{"knn", "uniform"},
+	{"knn", "clustered"},
+}
+
+// shardCounts is the shard sweep; K=1 is the no-exchange control
+// (sharded plumbing over one piece, measuring pure tier overhead).
+var shardCounts = []int{1, 2, 4, 8}
+
+// shardWorkers is the worker sweep of every configuration.
+var shardWorkers = []int{1, 4}
+
+// shardData generates the named benchmark dataset.
+func shardData(name string, n int, seed int64) *storage.Storage {
+	switch name {
+	case "uniform":
+		return normalND(n, 3, seed)
+	case "clustered":
+		return dataset.GenerateClustered(n, 3, 8, seed)
+	default:
+		panic("bench: unknown shard dataset " + name)
+	}
+}
+
+// Shard runs the sharded-execution grid at o.Scale points and reports
+// unsharded vs sharded times plus exchange volume.
+func Shard(o Options, w io.Writer) []ShardResult {
+	o = o.fill()
+	results := make([]ShardResult, 0, len(shardConfigs)*len(shardCounts)*len(shardWorkers))
+	for _, c := range shardConfigs {
+		for _, shards := range shardCounts {
+			for _, workers := range shardWorkers {
+				r := measureShard(o, c.problem, c.dataset, o.Scale, shards, workers)
+				results = append(results, r)
+				if w != nil {
+					fmt.Fprintf(w, "%-3s %-9s N=%-7d K=%-2d W=%-2d unsharded=%-12v sharded=%-12v speedup=%.2fx split=%-6s exch=%dB pts=%d aggs=%d\n",
+						r.Problem, r.Dataset, r.N, r.Shards, r.Workers,
+						time.Duration(r.UnshardedNS), time.Duration(r.ShardedNS),
+						r.Speedup, r.Splitter,
+						r.ExchangeSummaryBytes, r.ImportedPoints, r.ImportedAggregates)
+				}
+			}
+		}
+	}
+	return results
+}
+
+// measureShard times one configuration unsharded (single pre-built
+// tree) and sharded (pre-built partitions), then samples one
+// stats-collecting sharded run for the exchange columns.
+func measureShard(o Options, problem, ds string, n, shards, workers int) ShardResult {
+	o = o.fill()
+	data := shardData(ds, n, o.Seed)
+	spec, tau := baseCaseSpec(problem, data, o.Seed)
+	cfg := engine.Config{
+		LeafSize: o.LeafSize, Tau: tau,
+		Parallel: true, Workers: workers,
+		Codegen: codegen.Options{NoStats: true},
+		Trace:   o.Trace,
+	}
+	p, err := engine.Compile("shard-"+problem, spec, cfg)
+	if err != nil {
+		panic(err)
+	}
+	qt, rt := p.BuildTrees(cfg)
+	unshardedNS := int64(timeIt(o.Reps, func() {
+		if _, err := p.ExecuteOn(qt, rt, cfg); err != nil {
+			panic(err)
+		}
+	}))
+
+	shardCfg := cfg
+	shardCfg.Shards = shards
+	qp, rp, err := p.BuildPartitions(shardCfg)
+	if err != nil {
+		panic(err)
+	}
+	shardedNS := int64(timeIt(o.Reps, func() {
+		if _, err := p.ExecuteShardedOn(qp, rp, shardCfg); err != nil {
+			panic(err)
+		}
+	}))
+
+	// One untimed run with stats on, to report the exchange volume.
+	// NoStats is a compile-time option, so this takes a stats-enabled
+	// sibling compile over the same pre-built partitions.
+	statCfg := shardCfg
+	statCfg.Codegen.NoStats = false
+	sp, err := engine.Compile("shard-stats-"+problem, spec, statCfg)
+	if err != nil {
+		panic(err)
+	}
+	sink := &stats.Report{}
+	statCfg.StatsSink = sink
+	if _, err := sp.ExecuteShardedOn(qp, rp, statCfg); err != nil {
+		panic(err)
+	}
+	r := ShardResult{
+		Problem: problem, Dataset: ds, N: n, Shards: shards, Workers: workers,
+		UnshardedNS: unshardedNS, ShardedNS: shardedNS,
+		Speedup: float64(unshardedNS) / float64(shardedNS),
+	}
+	if sh := sink.Sharding; sh != nil {
+		r.Splitter = sh.Splitter
+		r.ExchangeSummaryBytes = sh.ExchangeSummaryBytes
+		for i := range sh.PerShard {
+			r.ImportedPoints += sh.PerShard[i].ImportedPoints
+			r.ImportedAggregates += sh.PerShard[i].ImportedAggregates
+		}
+	}
+	return r
+}
+
+// ShardRegression is one configuration whose sharded run got slower
+// than the stored baseline allows.
+type ShardRegression struct {
+	Problem    string  `json:"problem"`
+	Dataset    string  `json:"dataset"`
+	N          int     `json:"n"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	BaselineNS int64   `json:"baseline_ns"`
+	CurrentNS  int64   `json:"current_ns"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// CompareShard reruns every configuration recorded in baseline (same
+// problem, dataset, N, shards, and workers) and flags the ones whose
+// sharded run regressed by more than tol (0.25 = 25% slower).
+// Per-configuration verdicts go to w when non-nil.
+func CompareShard(o Options, baseline []ShardResult, tol float64, w io.Writer) []ShardRegression {
+	var regs []ShardRegression
+	for _, base := range baseline {
+		cur := measureShard(o, base.Problem, base.Dataset, base.N, base.Shards, base.Workers)
+		ratio := float64(cur.ShardedNS) / float64(base.ShardedNS)
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSION"
+			regs = append(regs, ShardRegression{
+				Problem: base.Problem, Dataset: base.Dataset, N: base.N,
+				Shards: base.Shards, Workers: base.Workers,
+				BaselineNS: base.ShardedNS, CurrentNS: cur.ShardedNS, Ratio: ratio,
+			})
+		}
+		if w != nil {
+			fmt.Fprintf(w, "%-3s %-9s N=%-8d K=%-2d W=%-2d baseline=%-12v current=%-12v ratio=%.2f %s\n",
+				base.Problem, base.Dataset, base.N, base.Shards, base.Workers,
+				time.Duration(base.ShardedNS), time.Duration(cur.ShardedNS), ratio, verdict)
+		}
+	}
+	return regs
+}
+
+// LoadShardBaseline reads a BENCH_shard.json file (enveloped or
+// legacy bare-array).
+func LoadShardBaseline(path string) ([]ShardResult, error) {
+	var baseline []ShardResult
+	if err := loadBaseline(path, KindShard, &baseline); err != nil {
+		return nil, err
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("bench: %s: empty baseline", path)
+	}
+	return baseline, nil
+}

@@ -1,0 +1,178 @@
+package codegen
+
+import (
+	"math"
+
+	"portal/internal/fastmath"
+	"portal/internal/lang"
+)
+
+// This file is the backend's sharded-execution surface: the hooks the
+// internal/shard tier uses to run one Executable as K shard-local
+// runs plus a boundary exchange, and to merge the per-shard partial
+// results through the operators' commutative finalize paths.
+//
+// The contract mirrors Finalize exactly, minus the outer reduction:
+// FinalizePartial returns per-query state in the run's own original
+// query-storage order with reference indices mapped back to the run's
+// original reference-storage order; the shard layer re-maps both
+// sides to global indices and applies the outer reduction itself
+// (scalar outer operators do not distribute over a per-shard merge —
+// max-of-maxes-of-mins is not max-of-merged-mins).
+
+// Partial is the per-query view of one finalized shard-local run.
+// Exactly one family of fields is populated, matching the inner
+// operator the way Output's FORALL branch does; sqrt-deferred values
+// are already un-squared (monotone, so per-shard sqrt commutes with
+// the comparative merges that follow).
+type Partial struct {
+	// Values holds per-query kernel reductions (value-typed inner
+	// operators, including the per-query inner values of scalar-outer
+	// problems).
+	Values []float64
+	// Args holds per-query reference indices (ARGMIN/ARGMAX).
+	Args []int
+	// ArgLists / ValueLists hold per-query lists (k-variants, UNION,
+	// UNIONARG).
+	ArgLists   [][]int
+	ValueLists [][]float64
+	// Stats snapshots the run's traversal counters.
+	Stats Stats
+}
+
+// FinalizePartial runs the push-down passes and assembles the
+// per-query state without the outer reduction — the shard-local half
+// of Finalize. Like Finalize it consumes the run: call exactly once,
+// after the traversal (and after any ApplyRemoteApprox /
+// AddRemoteCount calls, whose root deltas the push-down distributes).
+func (r *Run) FinalizePartial() *Partial {
+	if r.NodeDelta != nil {
+		r.pushDownDeltas()
+	}
+	if r.pendingRanges != nil {
+		r.pushDownRanges()
+	}
+	p := &Partial{Stats: *r.stats}
+	plan := r.Ex.Plan
+	n := r.Q.Len()
+	qIdx := r.Q.Index
+	rIdx := r.R.Index
+
+	switch {
+	case plan.InnerOp == lang.ARGMIN || plan.InnerOp == lang.ARGMAX:
+		p.Args = make([]int, n)
+		p.Values = make([]float64, n)
+		for pos := 0; pos < n; pos++ {
+			orig := qIdx[pos]
+			p.Values[orig] = r.Val[pos]
+			if a := r.Arg[pos]; a >= 0 {
+				p.Args[orig] = rIdx[a]
+			} else {
+				p.Args[orig] = -1
+			}
+		}
+	case r.KLists != nil:
+		p.ArgLists = make([][]int, n)
+		p.ValueLists = make([][]float64, n)
+		for pos := 0; pos < n; pos++ {
+			orig := qIdx[pos]
+			kl := r.KLists[pos]
+			args := make([]int, 0, kl.K())
+			vals := make([]float64, 0, kl.K())
+			for j := 0; j < kl.K(); j++ {
+				if kl.Args[j] < 0 {
+					continue
+				}
+				args = append(args, rIdx[kl.Args[j]])
+				vals = append(vals, kl.Vals[j])
+			}
+			p.ArgLists[orig] = args
+			p.ValueLists[orig] = vals
+		}
+	case r.IdxLists != nil:
+		p.ArgLists = make([][]int, n)
+		for pos := 0; pos < n; pos++ {
+			orig := qIdx[pos]
+			lst := make([]int, len(r.IdxLists[pos]))
+			for j, ri := range r.IdxLists[pos] {
+				lst[j] = rIdx[ri]
+			}
+			p.ArgLists[orig] = lst
+		}
+		if r.ValLists != nil {
+			p.ValueLists = make([][]float64, n)
+			for pos := 0; pos < n; pos++ {
+				p.ValueLists[qIdx[pos]] = r.ValLists[pos]
+			}
+		}
+	default:
+		p.Values = make([]float64, n)
+		for pos := 0; pos < n; pos++ {
+			p.Values[qIdx[pos]] = r.Val[pos]
+		}
+	}
+	if r.Ex.sqrtOut {
+		for i := range p.Values {
+			p.Values[i] = math.Sqrt(p.Values[i])
+		}
+		for _, vl := range p.ValueLists {
+			for i := range vl {
+				vl[i] = math.Sqrt(vl[i])
+			}
+		}
+	}
+	return p
+}
+
+// RootBound returns the query root's best-so-far prune bound after
+// the traversal — for min-side bound rules an upper bound on every
+// query point's final result, for max-side rules a lower bound. The
+// shard tier uses it as the qBound of the boundary-exchange export
+// walk: a Decide against the whole shard's query box under this bound
+// stays valid for every query sub-box (distance intervals shrink
+// under box shrinkage). Rules without per-node bounds get the
+// no-pruning identity (+Inf min-side, -Inf max-side).
+func (r *Run) RootBound() float64 {
+	if r.NodeBound != nil {
+		return r.NodeBound[r.Q.Root.ID]
+	}
+	if r.Ex.maxSide {
+		return math.Inf(-1)
+	}
+	return math.Inf(1)
+}
+
+// ApplyRemoteApprox folds a peer shard's exported node aggregate
+// (centroid, mass) into this run as an approximation at the query
+// root — the out-of-traversal mirror of ComputeApprox for TauRule
+// problems. Valid because the exporter decided Approx against this
+// shard's whole query box, so the τ variation guarantee holds at the
+// root. Call between the traversal and FinalizePartial; the root
+// delta reaches every query point through the push-down pass.
+// Traversal decision counters are deliberately untouched (trace depth
+// profiles must keep reconciling with TraversalStats).
+func (r *Run) ApplyRemoteApprox(centroid []float64, mass float64) {
+	qn := r.Q.Root
+	var k float64
+	switch {
+	case r.evalD2 != nil:
+		k = r.evalD2(fastmath.Hypot2(qn.Centroid, centroid))
+	case r.mahal != nil:
+		k = r.Ex.bodyFnOrIdentity()(r.mahal.PairDist2(qn.Centroid, centroid))
+	default:
+		k = r.Ex.Plan.Kernel.Eval(qn.Centroid, centroid)
+	}
+	r.NodeDelta[qn.ID] += k * mass
+}
+
+// AddRemoteCount folds a peer shard's bulk definitely-inside-window
+// point count into this run at the query root — the out-of-traversal
+// mirror of ComputeApprox for WindowRule SUM problems.
+func (r *Run) AddRemoteCount(n float64) {
+	r.NodeDelta[r.Q.Root.ID] += n
+}
+
+// MaxSide reports whether the compiled reduction chases maxima — the
+// shard tier needs it to replay comparative merges (k-list ordering,
+// MIN/MAX identities) with the same orientation.
+func (ex *Executable) MaxSide() bool { return ex.maxSide }

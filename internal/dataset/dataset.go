@@ -287,6 +287,59 @@ func GenerateBlobs(n, d, k int, seed int64) (*storage.Storage, []int) {
 	return s, labels
 }
 
+// GenerateClustered produces an unbalanced Gaussian mixture in d
+// dimensions: `clusters` components with random mixture weights
+// (drawn from a Dirichlet-ish exponential normalization, so some
+// components dominate), uniformly placed centers, and per-component
+// anisotropic scales. Unlike GenerateBlobs — equal-sized, isotropic,
+// grid-centered — this is the shard-imbalance stress shape: a
+// Morton-order equal-count split must cut through dense components
+// while an ORB split rebalances, so the two splitters (and the
+// boundary-exchange volume between dense neighbors) actually
+// diverge.
+func GenerateClustered(n, d, clusters int, seed int64) *storage.Storage {
+	if clusters < 1 {
+		clusters = 1
+	}
+	rng := rand.New(rand.NewSource(seed*7349 + int64(d)*31 + int64(clusters)))
+	centers := make([][]float64, clusters)
+	scales := make([][]float64, clusters)
+	weights := make([]float64, clusters)
+	var wsum float64
+	for c := 0; c < clusters; c++ {
+		centers[c] = make([]float64, d)
+		scales[c] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			centers[c][j] = (rng.Float64() - 0.5) * 40
+			scales[c][j] = 0.3 + 2.2*rng.Float64()
+		}
+		// Exponential weights normalize into a skewed mixture.
+		weights[c] = rng.ExpFloat64()
+		wsum += weights[c]
+	}
+	// Cumulative weights for component sampling.
+	cum := make([]float64, clusters)
+	acc := 0.0
+	for c := range weights {
+		acc += weights[c] / wsum
+		cum[c] = acc
+	}
+	s := storage.New(n, d)
+	p := make([]float64, d)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		c := 0
+		for c < clusters-1 && u > cum[c] {
+			c++
+		}
+		for j := 0; j < d; j++ {
+			p[j] = centers[c][j] + scales[c][j]*rng.NormFloat64()
+		}
+		s.SetPoint(i, p)
+	}
+	return s
+}
+
 // EllipticalMasses returns unit masses for an Elliptical dataset.
 func EllipticalMasses(n int) []float64 {
 	m := make([]float64, n)

@@ -21,6 +21,7 @@ import (
 	"portal/internal/lower"
 	"portal/internal/passes"
 	"portal/internal/prune"
+	"portal/internal/shard"
 	"portal/internal/stats"
 	"portal/internal/trace"
 	"portal/internal/traverse"
@@ -65,6 +66,16 @@ type Config struct {
 	Codegen codegen.Options
 	// Weights optionally assigns reference point masses (Barnes-Hut).
 	Weights []float64
+	// Shards, when > 1, runs spatially sharded execution: the domain
+	// splits into Shards equal-count pieces with independent trees,
+	// each executed shard-locally, stitched together through the
+	// locally-essential-tree boundary exchange, and merged through the
+	// operators' commutative finalize paths (see internal/shard). 0 or
+	// 1 is the unsharded path. Incompatible with Weights for now.
+	Shards int
+	// ShardMode selects the domain splitter (shard.ModeAuto: Morton
+	// order with ORB fallback).
+	ShardMode shard.Mode
 	// CollectStats attaches a full observability Report (traversal
 	// counters plus phase timings) to the Output. Counter collection on
 	// Output.Stats happens whenever Codegen.NoStats is unset; this knob
@@ -191,8 +202,12 @@ func (p *Problem) BuildTrees(cfg Config) (qt, rt *tree.Tree) {
 }
 
 // Execute builds trees and runs the traversal, returning the output
-// in original dataset order.
+// in original dataset order. A Config.Shards > 1 routes through the
+// spatially sharded execution tier instead.
 func (p *Problem) Execute(cfg Config) (*codegen.Output, error) {
+	if cfg.Shards > 1 {
+		return p.executeSharded(cfg)
+	}
 	start := time.Now()
 	qt, rt := p.BuildTrees(cfg)
 	return p.executeOn(qt, rt, cfg, time.Since(start), true)

@@ -19,6 +19,7 @@ import (
 	"portal/internal/metrics"
 	"portal/internal/persist"
 	"portal/internal/problems"
+	"portal/internal/shard"
 	"portal/internal/stats"
 	"portal/internal/storage"
 	"portal/internal/trace"
@@ -68,6 +69,12 @@ type Config struct {
 	// schedule). The compiled-problem cache key is unaffected, so
 	// flipping the schedule never fragments the cache.
 	Schedule traverse.Schedule
+	// Shards, when > 1, publishes every dataset with a pre-built
+	// sharded partition and serves its queries through the spatially
+	// sharded execution tier (engine.Config.Shards semantics). The
+	// persisted snapshot format is unchanged: partitions are rebuilt at
+	// load time.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +177,10 @@ type pending struct {
 	// is its (or a Trace-requesting caller's) trace collector.
 	sampled bool
 	rec     *trace.Collector
+	// qp/rp are the query- and reference-side partitions of a sharded
+	// query (nil on the unsharded path). Sharded items skip the batch
+	// multi-traversal and run through engine.ExecuteShardedOn instead.
+	qp, rp *shard.Partition
 }
 
 // Server is the long-lived query engine: registry + compiled-problem
@@ -267,6 +278,7 @@ func (s *Server) PutDataset(name string, data *storage.Storage) (*Snapshot, erro
 		Parallel: s.cfg.Workers > 1,
 		Workers:  s.cfg.Workers,
 	})
+	part := s.buildPartition(data)
 	if s.cfg.DataDir != "" {
 		path := s.snapshotPath(name)
 		saveStart := time.Now()
@@ -278,7 +290,27 @@ func (s *Server) PutDataset(name string, data *storage.Storage) (*Snapshot, erro
 			s.m.snapSaveBytes.Add(fi.Size())
 		}
 	}
-	return s.reg.Put(name, data, t, time.Since(start).Nanoseconds()), nil
+	snap := s.reg.PutPartitioned(name, data, t, part, time.Since(start).Nanoseconds(), nil)
+	s.m.observePartition(name, part)
+	return snap, nil
+}
+
+// buildPartition pre-builds the sharded partition for a dataset being
+// published (nil when the server is unsharded).
+func (s *Server) buildPartition(data *storage.Storage) *shard.Partition {
+	if s.cfg.Shards <= 1 {
+		return nil
+	}
+	return shard.Split(data, s.shardOptions())
+}
+
+func (s *Server) shardOptions() shard.Options {
+	return shard.Options{
+		K:        s.cfg.Shards,
+		LeafSize: s.cfg.LeafSize,
+		Parallel: s.cfg.Workers > 1,
+		Workers:  s.cfg.Workers,
+	}
 }
 
 // DropDataset removes name's head, and its snapshot file under
@@ -344,7 +376,11 @@ func (s *Server) LoadDataDir() (int, error) {
 		// set; it serves as the dataset storage directly. Queries are
 		// unaffected: results are reported in original indices via the
 		// tree's index map, and self-joins bind the tree on both sides.
-		s.reg.PutBacked(name, l.Tree.Data, l.Tree, 0, func() { l.Release() })
+		// The snapshot artifact stays shard-agnostic; a sharded server
+		// rebuilds its partition from the restored points at load time.
+		part := s.buildPartition(l.Tree.Data)
+		s.reg.PutPartitioned(name, l.Tree.Data, l.Tree, part, 0, func() { l.Release() })
+		s.m.observePartition(name, part)
 		loaded++
 	}
 	return loaded, errors.Join(errs...)
@@ -551,13 +587,27 @@ func (s *Server) prepare(req *QueryRequest, snap *Snapshot) (*pending, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &pending{
+	p := &pending{
 		item:    &engine.BatchItem{P: prob, Qt: qt, Rt: snap.Tree, Cfg: cfg},
 		hit:     hit,
 		done:    make(chan struct{}),
 		sampled: sampled,
 		rec:     rec,
-	}, nil
+	}
+	if snap.Partition != nil {
+		// Sharded head: reuse the published partition on the reference
+		// side; self-joins reuse it on both sides, point queries route
+		// onto the same domain split (building only the per-shard query
+		// trees).
+		p.rp = snap.Partition
+		if selfJoin {
+			p.qp = snap.Partition
+		} else {
+			p.qp = snap.Partition.RouteQueries(qd, shard.Options{LeafSize: s.cfg.LeafSize})
+		}
+		p.item.Cfg.Shards = s.cfg.Shards
+	}
+	return p, nil
 }
 
 // respond assembles the wire response from a completed item.
@@ -631,15 +681,38 @@ collect:
 	timer.Stop()
 
 	s.m.batchSize.Observe(int64(len(batch)))
-	items := make([]*engine.BatchItem, len(batch))
-	for i, p := range batch {
-		items[i] = p.item
+	plain := make([]*engine.BatchItem, 0, len(batch))
+	for _, p := range batch {
 		p.batch = len(batch)
 		s.m.tickWait.Observe(time.Since(p.admitted).Nanoseconds())
+		if p.rp == nil {
+			plain = append(plain, p.item)
+		}
 	}
-	engine.ExecuteOnBatch(items, s.cfg.Workers)
+	engine.ExecuteOnBatch(plain, s.cfg.Workers)
+	// Sharded items run after the tick's multi-traversal, each over the
+	// full worker budget: the shard fan-out is itself the batch.
+	for _, p := range batch {
+		if p.rp != nil {
+			s.runSharded(p)
+		}
+	}
 	s.batches.Add(1)
 	for _, p := range batch {
 		close(p.done)
 	}
+}
+
+// runSharded executes one sharded item over its snapshot's pre-built
+// partitions. Failures stay per item, like the batch path's.
+func (s *Server) runSharded(p *pending) {
+	cfg := p.item.Cfg
+	cfg.Parallel = s.cfg.Workers > 1
+	cfg.Workers = s.cfg.Workers
+	defer func() {
+		if r := recover(); r != nil {
+			p.item.Err = fmt.Errorf("serve: sharded query panicked: %v", r)
+		}
+	}()
+	p.item.Out, p.item.Err = p.item.P.ExecuteShardedOn(p.qp, p.rp, cfg)
 }

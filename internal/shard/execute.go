@@ -1,0 +1,444 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"portal/internal/codegen"
+	"portal/internal/lang"
+	"portal/internal/stats"
+	"portal/internal/storage"
+	"portal/internal/trace"
+	"portal/internal/traverse"
+	"portal/internal/tree"
+)
+
+// ExecConfig controls sharded execution. It mirrors the traversal
+// slice of engine.Config (the engine maps its config here; shard
+// cannot import engine).
+type ExecConfig struct {
+	Parallel       bool
+	Workers        int
+	Schedule       traverse.Schedule
+	BatchBaseCases bool
+	// LeafSize and Oct shape the locally-essential import trees (they
+	// should match the partition's shard trees).
+	LeafSize int
+	Oct      bool
+	// Trace, when non-nil, records shard-exec wrapper spans, exchange
+	// spans, and import-tree shard-build spans on top of the
+	// traversals' own task spans.
+	Trace trace.Recorder
+}
+
+func (c ExecConfig) traverseOptions(st *stats.TraversalStats) traverse.Options {
+	if !c.Parallel {
+		return traverse.Options{Workers: 1, Schedule: c.Schedule, Stats: st, Trace: c.Trace}
+	}
+	return traverse.Options{
+		Workers:        c.Workers,
+		Schedule:       c.Schedule,
+		BatchBaseCases: c.BatchBaseCases,
+		Stats:          st,
+		Trace:          c.Trace,
+	}
+}
+
+// importSet accumulates everything one shard imports from its peers.
+type importSet struct {
+	srcs   []srcExport
+	numPts int
+	aggs   []remoteAgg
+	count  float64
+	bulk   []int
+	bytes  int64
+}
+
+// srcExport is one exporter's shipped boundary points (positions into
+// the exporter's tree-reordered data).
+type srcExport struct {
+	piece int
+	pts   []int
+}
+
+// Execute runs the compiled problem over a sharded domain: K
+// shard-local traversals, the boundary exchange, the
+// locally-essential import traversals, and the commutative merge. qp
+// and rp are the query- and reference-side partitions (the same
+// *Partition for self-joins). The returned ShardingStats carries the
+// per-shard counters and the exchange volume; Output.Stats sums the
+// traversal counters of every run.
+func Execute(ex *codegen.Executable, qp, rp *Partition, cfg ExecConfig) (*codegen.Output, *stats.ShardingStats, error) {
+	k := rp.K()
+	if qp.K() != k {
+		return nil, nil, fmt.Errorf("shard: query partition has %d shards, reference partition %d", qp.K(), k)
+	}
+	selfJoin := qp == rp
+
+	sh := &stats.ShardingStats{Shards: k, Splitter: rp.Splitter, PerShard: make([]stats.ShardStats, k)}
+	for i := range sh.PerShard {
+		ps := &sh.PerShard[i]
+		ps.Shard = i
+		ps.Points = int64(len(rp.Pieces[i].Orig))
+		ps.QueryPoints = int64(len(qp.Pieces[i].Orig))
+		ps.BuildNS = rp.Pieces[i].BuildNS
+		if !selfJoin {
+			ps.BuildNS += qp.Pieces[i].BuildNS
+		}
+	}
+
+	// Phase 1: shard-local runs.
+	runsLocal := make([]*codegen.Run, k)
+	for i := 0; i < k; i++ {
+		qt := qp.Pieces[i].Tree
+		if qt == nil {
+			continue // no queries routed here; still exports below
+		}
+		rt := rp.Pieces[i].Tree
+		run := ex.Bind(qt, rt)
+		t0 := time.Now()
+		var tt *trace.Task
+		if cfg.Trace != nil {
+			tt = cfg.Trace.TaskBegin(trace.PhaseShardExec, 0)
+			tt.SetItems(int64(qt.Len()))
+		}
+		traverse.RunParallel(qt, rt, run, cfg.traverseOptions(run.TraversalStats()))
+		if tt != nil {
+			cfg.Trace.TaskEnd(tt)
+		}
+		sh.PerShard[i].TraverseNS += time.Since(t0).Nanoseconds()
+		runsLocal[i] = run
+	}
+
+	// Phase 2: boundary exchange. Each importing shard collects the
+	// pruned summaries of every peer's reference tree, evaluated
+	// against its whole query box and (for bound rules) the bound its
+	// local run proved.
+	imports := make([]importSet, k)
+	for i := 0; i < k && k > 1; i++ {
+		if runsLocal[i] == nil {
+			continue
+		}
+		var tt *trace.Task
+		if cfg.Trace != nil {
+			tt = cfg.Trace.TaskBegin(trace.PhaseExchange, 0)
+		}
+		qBox := qp.Pieces[i].Tree.Root.BBox
+		qBound := runsLocal[i].RootBound()
+		im := &imports[i]
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			e := exportFor(ex, &rp.Pieces[j], qBox, qBound)
+			if len(e.pts) > 0 {
+				im.srcs = append(im.srcs, srcExport{piece: j, pts: e.pts})
+				im.numPts += len(e.pts)
+			}
+			im.aggs = append(im.aggs, e.aggs...)
+			im.count += e.count
+			im.bulk = append(im.bulk, e.bulk...)
+			im.bytes += e.bytes
+		}
+		if tt != nil {
+			tt.SetItems(int64(im.numPts+len(im.aggs)+len(im.bulk)) + int64(boolToInt(im.count > 0)))
+			cfg.Trace.TaskEnd(tt)
+		}
+		ps := &sh.PerShard[i]
+		ps.ExchangeSummaryBytes = im.bytes
+		ps.ImportedPoints = int64(im.numPts)
+		ps.ImportedAggregates = int64(len(im.aggs)+len(im.bulk)) + int64(boolToInt(im.count > 0))
+		sh.ExchangeSummaryBytes += im.bytes
+	}
+
+	// Phase 3: locally-essential import runs. Shipped points form an
+	// import tree traversed like any reference tree; aggregates and
+	// counts apply at the query root (their push-down happens in
+	// FinalizePartial).
+	runsImp := make([]*codegen.Run, k)
+	impOrig := make([][]int, k)
+	for i := 0; i < k; i++ {
+		if runsLocal[i] == nil {
+			continue
+		}
+		im := &imports[i]
+		for _, a := range im.aggs {
+			runsLocal[i].ApplyRemoteApprox(a.centroid, a.mass)
+		}
+		if im.count > 0 {
+			runsLocal[i].AddRemoteCount(im.count)
+		}
+		if im.numPts == 0 {
+			continue
+		}
+		d := rp.Source.Dim()
+		ist := storage.NewWithLayout(im.numPts, d, rp.Source.Layout())
+		orig := make([]int, im.numPts)
+		buf := make([]float64, d)
+		w := 0
+		for _, se := range im.srcs {
+			t := rp.Pieces[se.piece].Tree
+			for _, pos := range se.pts {
+				ist.SetPoint(w, t.Data.Point(pos, buf))
+				orig[w] = rp.Pieces[se.piece].Orig[t.Index[pos]]
+				w++
+			}
+		}
+		var bt *trace.Task
+		if cfg.Trace != nil {
+			bt = cfg.Trace.TaskBegin(trace.PhaseShardBuild, 0)
+			bt.SetItems(int64(im.numPts))
+		}
+		topts := &tree.Options{LeafSize: cfg.LeafSize}
+		var it *tree.Tree
+		if cfg.Oct {
+			it = tree.BuildOct(ist, topts)
+		} else {
+			it = tree.BuildKD(ist, topts)
+		}
+		if bt != nil {
+			cfg.Trace.TaskEnd(bt)
+		}
+		run := ex.Bind(qp.Pieces[i].Tree, it)
+		t0 := time.Now()
+		var tt *trace.Task
+		if cfg.Trace != nil {
+			tt = cfg.Trace.TaskBegin(trace.PhaseShardExec, 0)
+			tt.SetItems(int64(qp.Pieces[i].Tree.Len()))
+		}
+		traverse.RunParallel(qp.Pieces[i].Tree, it, run, cfg.traverseOptions(run.TraversalStats()))
+		if tt != nil {
+			cfg.Trace.TaskEnd(tt)
+		}
+		sh.PerShard[i].TraverseNS += time.Since(t0).Nanoseconds()
+		runsImp[i] = run
+		impOrig[i] = orig
+	}
+
+	// Phase 4: merge the per-shard partials through the operators'
+	// commutative finalize paths and run the outer reduction once.
+	out, err := merge(ex, qp, rp, runsLocal, runsImp, impOrig, imports)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, sh, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// merge combines the finalized per-shard partials into the global
+// Output. Query indices map piece-local → global through the query
+// pieces' Orig; reference indices map through the reference pieces'
+// Orig (local runs) or the import origin table (import runs). Set
+// operator lists come out canonically sorted by reference index —
+// order inside a ∪ result carries no meaning, and sorting makes the
+// merged output independent of the shard count.
+func merge(ex *codegen.Executable, qp, rp *Partition, runsLocal, runsImp []*codegen.Run, impOrig [][]int, imports []importSet) (*codegen.Output, error) {
+	plan := ex.Plan
+	nQ := qp.Source.Len()
+	maxSide := ex.MaxSide()
+	out := &codegen.Output{}
+
+	innerOp := plan.InnerOp
+	values := make([]float64, 0)
+	needValues := true
+	switch {
+	case innerOp == lang.ARGMIN || innerOp == lang.ARGMAX:
+		out.Args = make([]int, nQ)
+		values = make([]float64, nQ)
+	case innerOp.NeedsK():
+		out.ArgLists = make([][]int, nQ)
+		out.ValueLists = make([][]float64, nQ)
+		needValues = false
+	case innerOp == lang.UNION || innerOp == lang.UNIONARG:
+		out.ArgLists = make([][]int, nQ)
+		if innerOp == lang.UNION {
+			out.ValueLists = make([][]float64, nQ)
+		}
+		needValues = false
+	default:
+		values = make([]float64, nQ)
+	}
+
+	for i := range qp.Pieces {
+		if runsLocal[i] == nil {
+			continue
+		}
+		local := runsLocal[i].FinalizePartial()
+		var imp *codegen.Partial
+		if runsImp[i] != nil {
+			imp = runsImp[i].FinalizePartial()
+		}
+		out.Stats.Add(&local.Stats)
+		if imp != nil {
+			out.Stats.Add(&imp.Stats)
+		}
+		qOrig := qp.Pieces[i].Orig
+		rOrig := rp.Pieces[i].Orig
+		iOrig := impOrig[i]
+		// Bulk entries are whole-subtree window inclusions decided
+		// against the shard's entire query box, so they apply to every
+		// query in the shard (with value exactly 1 for UNION).
+		bulk := imports[i].bulk
+		for pos, g := range qOrig {
+			switch {
+			case innerOp == lang.ARGMIN || innerOp == lang.ARGMAX:
+				v := local.Values[pos]
+				a := mapArg(local.Args[pos], rOrig)
+				if imp != nil {
+					iv := imp.Values[pos]
+					if (innerOp == lang.ARGMIN && iv < v) || (innerOp == lang.ARGMAX && iv > v) {
+						v, a = iv, mapArg(imp.Args[pos], iOrig)
+					}
+				}
+				values[g], out.Args[g] = v, a
+			case innerOp.NeedsK():
+				kl := codegen.NewKList(plan.K, maxSide)
+				for j, a := range local.ArgLists[pos] {
+					kl.Insert(local.ValueLists[pos][j], rOrig[a])
+				}
+				if imp != nil {
+					for j, a := range imp.ArgLists[pos] {
+						kl.Insert(imp.ValueLists[pos][j], iOrig[a])
+					}
+				}
+				args := make([]int, 0, kl.K())
+				vals := make([]float64, 0, kl.K())
+				for j := 0; j < kl.K(); j++ {
+					if kl.Args[j] < 0 {
+						continue
+					}
+					args = append(args, kl.Args[j])
+					vals = append(vals, kl.Vals[j])
+				}
+				out.ArgLists[g] = args
+				out.ValueLists[g] = vals
+			case innerOp == lang.UNION || innerOp == lang.UNIONARG:
+				args := make([]int, 0, len(local.ArgLists[pos]))
+				for _, a := range local.ArgLists[pos] {
+					args = append(args, rOrig[a])
+				}
+				var vals []float64
+				if innerOp == lang.UNION {
+					vals = append(vals, local.ValueLists[pos]...)
+				}
+				if imp != nil {
+					for _, a := range imp.ArgLists[pos] {
+						args = append(args, iOrig[a])
+					}
+					if innerOp == lang.UNION {
+						vals = append(vals, imp.ValueLists[pos]...)
+					}
+				}
+				for _, b := range bulk {
+					args = append(args, b)
+					if innerOp == lang.UNION {
+						vals = append(vals, 1)
+					}
+				}
+				sortUnion(args, vals)
+				out.ArgLists[g] = args
+				if innerOp == lang.UNION {
+					out.ValueLists[g] = vals
+				}
+			default: // SUM, PROD, MIN, MAX
+				v := local.Values[pos]
+				if imp != nil {
+					iv := imp.Values[pos]
+					switch innerOp {
+					case lang.SUM:
+						v += iv
+					case lang.PROD:
+						v *= iv
+					case lang.MIN:
+						if iv < v {
+							v = iv
+						}
+					case lang.MAX:
+						if iv > v {
+							v = iv
+						}
+					}
+				}
+				values[g] = v
+			}
+		}
+	}
+
+	// Outer reduction over the merged per-query state.
+	switch plan.OuterOp {
+	case lang.FORALL:
+		if needValues {
+			out.Values = values
+		}
+	case lang.SUM:
+		var s float64
+		for _, v := range values {
+			s += v
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.MAX:
+		s := math.Inf(-1)
+		for _, v := range values {
+			if v > s {
+				s = v
+			}
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.MIN:
+		s := math.Inf(1)
+		for _, v := range values {
+			if v < s {
+				s = v
+			}
+		}
+		out.Scalar, out.HasScalar = s, true
+	case lang.PROD:
+		s := 1.0
+		for _, v := range values {
+			s *= v
+		}
+		out.Scalar, out.HasScalar = s, true
+	default:
+		return nil, fmt.Errorf("shard: unsupported outer op %v", plan.OuterOp)
+	}
+	return out, nil
+}
+
+// mapArg maps a piece-local reference arg to a global one, keeping
+// the -1 "no candidate" sentinel.
+func mapArg(a int, orig []int) int {
+	if a < 0 {
+		return -1
+	}
+	return orig[a]
+}
+
+// sortUnion canonically sorts one query's ∪ result by reference
+// index, keeping values aligned.
+func sortUnion(args []int, vals []float64) {
+	if vals == nil {
+		sort.Ints(args)
+		return
+	}
+	perm := make([]int, len(args))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return args[perm[a]] < args[perm[b]] })
+	sa := make([]int, len(args))
+	sv := make([]float64, len(vals))
+	for i, p := range perm {
+		sa[i] = args[p]
+		sv[i] = vals[p]
+	}
+	copy(args, sa)
+	copy(vals, sv)
+}

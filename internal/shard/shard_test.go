@@ -1,0 +1,417 @@
+package shard_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"portal/internal/codegen"
+	"portal/internal/engine"
+	"portal/internal/lang"
+	"portal/internal/problems"
+	"portal/internal/stats"
+	"portal/internal/storage"
+)
+
+// genPoints generates two Gaussian clumps (offsets 0 and 6) so the
+// window and bound rules see real spatial structure.
+func genPoints(n, d int, layout storage.Layout, seed int64) *storage.Storage {
+	rng := rand.New(rand.NewSource(seed))
+	s := storage.NewWithLayout(n, d, layout)
+	buf := make([]float64, d)
+	for i := 0; i < n; i++ {
+		off := 0.0
+		if rng.Intn(2) == 1 {
+			off = 6
+		}
+		for j := range buf {
+			buf[j] = rng.NormFloat64() + off
+		}
+		s.SetPoint(i, buf)
+	}
+	return s
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / den
+}
+
+func checkValues(t *testing.T, label string, want, got []float64, tol float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: got %d values, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if relDiff(want[i], got[i]) > tol {
+			t.Fatalf("%s: value[%d] = %v, want %v (rel %g > %g)",
+				label, i, got[i], want[i], relDiff(want[i], got[i]), tol)
+		}
+	}
+}
+
+func checkArgs(t *testing.T, label string, want, got []int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: got %d args, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: arg[%d] = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// checkLists compares per-query (args, values) lists exactly; when
+// sortWant is set the wanted lists are canonically sorted by arg first
+// (the sharded merge emits set-operator lists sorted, the unsharded
+// path in traversal order).
+func checkLists(t *testing.T, label string, want, got *codegen.Output, sortWant bool, tol float64) {
+	t.Helper()
+	if len(want.ArgLists) != len(got.ArgLists) {
+		t.Fatalf("%s: got %d arg lists, want %d", label, len(got.ArgLists), len(want.ArgLists))
+	}
+	for q := range want.ArgLists {
+		wa := append([]int(nil), want.ArgLists[q]...)
+		var wv []float64
+		if want.ValueLists != nil {
+			wv = append([]float64(nil), want.ValueLists[q]...)
+		}
+		if sortWant {
+			perm := make([]int, len(wa))
+			for i := range perm {
+				perm[i] = i
+			}
+			sort.Slice(perm, func(a, b int) bool { return wa[perm[a]] < wa[perm[b]] })
+			sa := make([]int, len(wa))
+			for i, p := range perm {
+				sa[i] = wa[p]
+			}
+			if wv != nil {
+				sv := make([]float64, len(wv))
+				for i, p := range perm {
+					sv[i] = wv[p]
+				}
+				wv = sv
+			}
+			wa = sa
+		}
+		ga := got.ArgLists[q]
+		if len(wa) != len(ga) {
+			t.Fatalf("%s: query %d: got %d entries, want %d", label, q, len(ga), len(wa))
+		}
+		for i := range wa {
+			if wa[i] != ga[i] {
+				t.Fatalf("%s: query %d entry %d: arg %d, want %d", label, q, i, ga[i], wa[i])
+			}
+		}
+		if wv != nil {
+			gv := got.ValueLists[q]
+			for i := range wv {
+				if relDiff(wv[i], gv[i]) > tol {
+					t.Fatalf("%s: query %d entry %d: value %v, want %v", label, q, i, gv[i], wv[i])
+				}
+			}
+		}
+	}
+}
+
+type diffCase struct {
+	name     string
+	selfJoin bool
+	tau      float64
+	spec     func(q, r *storage.Storage) *lang.PortalExpr
+	check    func(t *testing.T, label string, un, sh *codegen.Output)
+}
+
+var diffCases = []diffCase{
+	{
+		name: "knn", selfJoin: true,
+		spec: func(q, r *storage.Storage) *lang.PortalExpr { return problems.KNNSpec(q, r, 5) },
+		check: func(t *testing.T, label string, un, sh *codegen.Output) {
+			checkLists(t, label, un, sh, false, 0)
+		},
+	},
+	{
+		name: "nn", selfJoin: true,
+		spec: func(q, r *storage.Storage) *lang.PortalExpr { return problems.KNNSpec(q, r, 1) },
+		check: func(t *testing.T, label string, un, sh *codegen.Output) {
+			checkArgs(t, label, un.Args, sh.Args)
+			checkValues(t, label, un.Values, sh.Values, 0)
+		},
+	},
+	{
+		name: "rangesearch",
+		spec: func(q, r *storage.Storage) *lang.PortalExpr { return problems.RangeSearchSpec(q, r, 0, 1.5) },
+		check: func(t *testing.T, label string, un, sh *codegen.Output) {
+			checkLists(t, label, un, sh, true, 0)
+		},
+	},
+	{
+		name: "hausdorff",
+		spec: func(q, r *storage.Storage) *lang.PortalExpr { return problems.HausdorffSpec(q, r) },
+		check: func(t *testing.T, label string, un, sh *codegen.Output) {
+			if !sh.HasScalar || un.Scalar != sh.Scalar {
+				t.Fatalf("%s: scalar %v (has=%v), want %v", label, sh.Scalar, sh.HasScalar, un.Scalar)
+			}
+		},
+	},
+	{
+		// τ below any representable kernel variation: the tau rule only
+		// "approximates" exactly-zero spreads, so the result is exact up
+		// to summation order.
+		name: "kde", tau: 1e-300,
+		spec: func(q, r *storage.Storage) *lang.PortalExpr { return problems.KDESpec(q, r, 0.8) },
+		check: func(t *testing.T, label string, un, sh *codegen.Output) {
+			checkValues(t, label, un.Values, sh.Values, 1e-12)
+		},
+	},
+	{
+		name: "twopoint", selfJoin: true,
+		spec: func(q, r *storage.Storage) *lang.PortalExpr { return problems.TwoPointSpec(q, 1.2) },
+		check: func(t *testing.T, label string, un, sh *codegen.Output) {
+			if !sh.HasScalar || un.Scalar != sh.Scalar {
+				t.Fatalf("%s: scalar %v (has=%v), want %v", label, sh.Scalar, sh.HasScalar, un.Scalar)
+			}
+		},
+	},
+}
+
+func runDiffCase(t *testing.T, c diffCase, d, shards int, kind engine.TreeKind, layout storage.Layout, label string) {
+	t.Helper()
+	ref := genPoints(240, d, layout, 11*int64(d)+1)
+	q := ref
+	if !c.selfJoin {
+		q = genPoints(160, d, layout, 17*int64(d)+2)
+	}
+	base := engine.Config{LeafSize: 16, Tree: kind, Tau: c.tau, Parallel: true, Workers: 4}
+	un, err := engine.Run(c.name, c.spec(q, ref), base)
+	if err != nil {
+		t.Fatalf("%s: unsharded: %v", label, err)
+	}
+	scfg := base
+	scfg.Shards = shards
+	sink := &stats.Report{}
+	scfg.StatsSink = sink
+	sh, err := engine.Run(c.name, c.spec(q, ref), scfg)
+	if err != nil {
+		t.Fatalf("%s: sharded: %v", label, err)
+	}
+	c.check(t, label, un, sh)
+	if sink.Sharding == nil {
+		t.Fatalf("%s: report missing sharding stats", label)
+	}
+	if sink.Sharding.Shards != shards {
+		t.Fatalf("%s: sharding reports %d shards, want %d", label, sink.Sharding.Shards, shards)
+	}
+	var pts int64
+	for _, ps := range sink.Sharding.PerShard {
+		pts += ps.Points
+	}
+	if pts != int64(ref.Len()) {
+		t.Fatalf("%s: per-shard points sum to %d, want %d", label, pts, ref.Len())
+	}
+}
+
+// TestShardedMatchesUnsharded is the differential suite: sharded
+// execution must agree with the unsharded path across operator
+// families × dimensionalities × shard counts (bit-exact for
+// comparative and set operators, 1e-12 for summation order).
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, c := range diffCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, d := range []int{1, 2, 3, 4} {
+				for _, k := range []int{2, 4, 8} {
+					label := c.name + "/kd"
+					runDiffCase(t, c, d, k, engine.KDTree, storage.ChooseLayout(d), label)
+				}
+			}
+			// Octree and forced row-major spot checks.
+			runDiffCase(t, c, 3, 4, engine.Octree, storage.ChooseLayout(3), c.name+"/oct")
+			runDiffCase(t, c, 3, 4, engine.KDTree, storage.RowMajor, c.name+"/row")
+		})
+	}
+}
+
+// TestShardedK1ByteIdentical proves a 1-shard partition through the
+// full shard executor reproduces the unsharded output bit for bit: the
+// identity split preserves point order, so the single "shard" run is
+// the unsharded run.
+func TestShardedK1ByteIdentical(t *testing.T) {
+	data := genPoints(200, 3, storage.ChooseLayout(3), 5)
+	for _, c := range []diffCase{diffCases[0], diffCases[4]} { // knn, kde
+		cfg := engine.Config{LeafSize: 16, Tau: c.tau, Parallel: true, Workers: 4, Shards: 1}
+		q := data
+		if !c.selfJoin {
+			q = genPoints(100, 3, storage.ChooseLayout(3), 6)
+		}
+		p, err := engine.Compile(c.name, c.spec(q, data), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		un, err := p.Execute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, rp, err := p.BuildPartitions(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := p.ExecuteShardedOn(qp, rp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range un.Values {
+			if un.Values[i] != sh.Values[i] {
+				t.Fatalf("%s: value[%d] differs: %v vs %v", c.name, i, sh.Values[i], un.Values[i])
+			}
+		}
+		for q := range un.ArgLists {
+			for j := range un.ArgLists[q] {
+				if un.ArgLists[q][j] != sh.ArgLists[q][j] ||
+					un.ValueLists[q][j] != sh.ValueLists[q][j] {
+					t.Fatalf("%s: query %d entry %d differs", c.name, q, j)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDegenerate covers the splits that defeat Morton order.
+func TestShardedDegenerate(t *testing.T) {
+	t.Run("identical-points", func(t *testing.T) {
+		n, d := 200, 3
+		s := storage.New(n, d)
+		p := []float64{1, 2, 3}
+		for i := 0; i < n; i++ {
+			s.SetPoint(i, p)
+		}
+		sink := &stats.Report{}
+		cfg := engine.Config{LeafSize: 16, Parallel: true, Workers: 4, Shards: 4, Tau: 1e-300, StatsSink: sink}
+		sh, err := engine.Run("kde", problems.KDESpec(s, s, 0.8), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		un, err := engine.Run("kde", problems.KDESpec(s, s, 0.8),
+			engine.Config{LeafSize: 16, Parallel: true, Workers: 4, Tau: 1e-300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValues(t, "identical", un.Values, sh.Values, 1e-12)
+		if sink.Sharding.Splitter != "orb" {
+			t.Fatalf("identical points split by %q, want orb fallback", sink.Sharding.Splitter)
+		}
+		// KNN over all-equal points: args are arbitrary among ties, but
+		// every distance is zero.
+		ksh, err := engine.Run("knn", problems.KNNSpec(s, s, 5),
+			engine.Config{LeafSize: 16, Parallel: true, Workers: 4, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q, vl := range ksh.ValueLists {
+			if len(vl) != 5 {
+				t.Fatalf("query %d: %d neighbors, want 5", q, len(vl))
+			}
+			for _, v := range vl {
+				if v != 0 {
+					t.Fatalf("query %d: nonzero distance %v among identical points", q, v)
+				}
+			}
+		}
+	})
+
+	t.Run("shards-exceed-points", func(t *testing.T) {
+		s := genPoints(20, 2, storage.ChooseLayout(2), 9)
+		sink := &stats.Report{}
+		cfg := engine.Config{LeafSize: 4, Parallel: true, Workers: 2, Shards: 50, StatsSink: sink}
+		sh, err := engine.Run("nn", problems.KNNSpec(s, s, 1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		un, err := engine.Run("nn", problems.KNNSpec(s, s, 1),
+			engine.Config{LeafSize: 4, Parallel: true, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkArgs(t, "clamped", un.Args, sh.Args)
+		if sink.Sharding.Shards != 20 {
+			t.Fatalf("shards = %d, want clamp to n = 20", sink.Sharding.Shards)
+		}
+	})
+
+	t.Run("shards-smaller-than-k", func(t *testing.T) {
+		// 8 shards of 2-3 points each, k = 5: local k-lists stay
+		// unfilled, so the exchange must ship enough boundary to fill
+		// them.
+		s := genPoints(20, 3, storage.ChooseLayout(3), 13)
+		sh, err := engine.Run("knn", problems.KNNSpec(s, s, 5),
+			engine.Config{LeafSize: 4, Parallel: true, Workers: 2, Shards: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		un, err := engine.Run("knn", problems.KNNSpec(s, s, 5),
+			engine.Config{LeafSize: 4, Parallel: true, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLists(t, "small-shards", un, sh, false, 0)
+	})
+
+	t.Run("one-dimensional", func(t *testing.T) {
+		s := genPoints(150, 1, storage.ChooseLayout(1), 21)
+		sh, err := engine.Run("rs", problems.RangeSearchSpec(s, s, 0, 1.5),
+			engine.Config{LeafSize: 8, Parallel: true, Workers: 2, Shards: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		un, err := engine.Run("rs", problems.RangeSearchSpec(s, s, 0, 1.5),
+			engine.Config{LeafSize: 8, Parallel: true, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLists(t, "d1", un, sh, true, 0)
+	})
+}
+
+// TestShardedRealisticTau runs KDE at a realistic τ and checks both
+// the τ error contract (per aggregated reference the absolute error is
+// below τ, so per query below n·τ) and that the exchange actually
+// shipped aggregate summaries.
+func TestShardedRealisticTau(t *testing.T) {
+	const tau = 1e-3
+	ref := genPoints(240, 3, storage.ChooseLayout(3), 31)
+	q := genPoints(160, 3, storage.ChooseLayout(3), 32)
+	exact, err := engine.Run("kde", problems.KDESpec(q, ref, 0.8),
+		engine.Config{LeafSize: 16, Tau: 1e-300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &stats.Report{}
+	sh, err := engine.Run("kde", problems.KDESpec(q, ref, 0.8),
+		engine.Config{LeafSize: 16, Tau: tau, Parallel: true, Workers: 4, Shards: 4, StatsSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := tau * float64(ref.Len())
+	for i := range exact.Values {
+		if diff := math.Abs(exact.Values[i] - sh.Values[i]); diff > bound {
+			t.Fatalf("query %d: |%v - %v| = %g exceeds n·τ = %g",
+				i, sh.Values[i], exact.Values[i], diff, bound)
+		}
+	}
+	if sink.Sharding.ExchangeSummaryBytes == 0 {
+		t.Fatal("no exchange volume recorded at realistic τ")
+	}
+	var aggs int64
+	for _, ps := range sink.Sharding.PerShard {
+		aggs += ps.ImportedAggregates
+	}
+	if aggs == 0 {
+		t.Fatal("no aggregates imported at realistic τ; LET exchange should collapse far subtrees")
+	}
+}

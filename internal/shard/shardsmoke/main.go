@@ -1,0 +1,237 @@
+// Command shardsmoke is the end-to-end smoke test of the spatially
+// sharded execution tier, run by `make shard-smoke`. Phase one is an
+// in-process differential: knn and kde over a clustered CSV must agree
+// between the unsharded single-tree path and the 4-shard
+// locally-essential-tree exchange path (knn bit-exact, kde within the
+// τ error budget). Phase two starts a real portald with -shards 4,
+// uploads the same CSV, and requires the served sharded answers to
+// match the in-process unsharded ones, with /metrics exposing the
+// per-shard ownership gauges and the sharded-query and
+// exchange-volume counters. Exits non-zero on any failure.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"portal/internal/metrics"
+	"portal/internal/serve"
+	"portal/internal/serve/client"
+	"portal/internal/storage"
+	"portal/nbody"
+)
+
+var ctx = context.Background()
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "shardsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// portaldProc is one running portald with a connected client.
+type portaldProc struct {
+	cmd *exec.Cmd
+	c   *client.Client
+}
+
+// startPortald launches portald on a free port and waits for
+// readiness via GET /readyz.
+func startPortald(portald string, extra ...string) *portaldProc {
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "4"}, extra...)
+	cmd := exec.Command(portald, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fail("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fail("starting portald: %v", err)
+	}
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		fail("portald never reported its listen address")
+	}
+	go func() { // drain any further output
+		for sc.Scan() {
+		}
+	}()
+	c := client.New("http://"+addr, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Ready(ctx); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			fail("server never became ready: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return &portaldProc{cmd: cmd, c: c}
+}
+
+// shutdown stops the process via SIGTERM and waits for a clean exit.
+func (p *portaldProc) shutdown() {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fail("signalling portald: %v", err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		fail("portald did not shut down cleanly: %v", err)
+	}
+}
+
+func main() {
+	portald := flag.String("portald", "", "path to the portald binary")
+	csvPath := flag.String("csv", "", "path to the clustered dataset CSV")
+	flag.Parse()
+	if *portald == "" || *csvPath == "" {
+		fail("both -portald and -csv are required")
+	}
+	data, err := storage.FromCSV(*csvPath)
+	if err != nil {
+		fail("loading CSV: %v", err)
+	}
+	n := data.Len()
+
+	// Phase one: in-process differential, unsharded vs 4 shards over
+	// the identical storage. knn ships verbatim boundary points through
+	// the exchange, so its merged k-lists must be bit-exact; kde's τ
+	// rule admits per-query error ≤ n·τ on each path, so the two paths
+	// may differ by at most 2·n·τ.
+	const k, tau = 5, 1e-6
+	sigma := nbody.SilvermanBandwidth(data)
+	cfg := nbody.Config{LeafSize: 32, Parallel: true, Workers: 4, Tau: tau}
+	shardCfg := cfg
+	shardCfg.Shards = 4
+
+	wantIdx, wantDist, err := nbody.KNN(data, data, k, cfg)
+	if err != nil {
+		fail("unsharded knn: %v", err)
+	}
+	gotIdx, gotDist, err := nbody.KNN(data, data, k, shardCfg)
+	if err != nil {
+		fail("sharded knn: %v", err)
+	}
+	for i := range wantIdx {
+		for j := range wantIdx[i] {
+			if gotIdx[i][j] != wantIdx[i][j] || gotDist[i][j] != wantDist[i][j] {
+				fail("knn row %d: sharded (%d, %g) != unsharded (%d, %g)",
+					i, gotIdx[i][j], gotDist[i][j], wantIdx[i][j], wantDist[i][j])
+			}
+		}
+	}
+	fmt.Printf("shardsmoke: knn k=%d over %d points: 4-shard answer bit-exact\n", k, n)
+
+	wantDens, err := nbody.KDE(data, data, sigma, cfg)
+	if err != nil {
+		fail("unsharded kde: %v", err)
+	}
+	gotDens, err := nbody.KDE(data, data, sigma, shardCfg)
+	if err != nil {
+		fail("sharded kde: %v", err)
+	}
+	budget := 2 * float64(n) * tau
+	for i := range wantDens {
+		if d := math.Abs(gotDens[i] - wantDens[i]); d > budget {
+			fail("kde query %d: |sharded - unsharded| = %g exceeds 2nτ = %g", i, d, budget)
+		}
+	}
+	fmt.Printf("shardsmoke: kde σ=%.3g τ=%g: 4-shard answer within 2nτ=%g\n", sigma, tau, budget)
+
+	// Phase two: the served sharded path. portald -shards 4 publishes
+	// the dataset with a pre-built partition and must answer the same
+	// queries through the exchange tier.
+	p := startPortald(*portald, "-shards", "4")
+	defer p.cmd.Process.Kill()
+	c := p.c
+
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		fail("opening CSV: %v", err)
+	}
+	info, err := c.PutDatasetCSV(ctx, "smoke", f)
+	f.Close()
+	if err != nil {
+		fail("uploading dataset: %v", err)
+	}
+	fmt.Printf("shardsmoke: uploaded %q: n=%d d=%d\n", info.Name, info.N, info.D)
+
+	resp, err := c.Query(ctx, &serve.QueryRequest{Dataset: "smoke", Problem: "knn", K: k, Stats: true})
+	if err != nil {
+		fail("served knn query: %v", err)
+	}
+	if len(resp.ArgLists) != len(wantIdx) {
+		fail("served knn returned %d rows, want %d", len(resp.ArgLists), len(wantIdx))
+	}
+	for i := range wantIdx {
+		for j := range wantIdx[i] {
+			if resp.ArgLists[i][j] != wantIdx[i][j] || resp.ValueLists[i][j] != wantDist[i][j] {
+				fail("served knn row %d differs from in-process unsharded answer", i)
+			}
+		}
+	}
+	if resp.Report == nil || resp.Report.Sharding == nil {
+		fail("served knn report carries no sharding stats")
+	}
+	sh := resp.Report.Sharding
+	if sh.Shards != 4 || sh.ExchangeSummaryBytes == 0 {
+		fail("served knn sharding stats look wrong: shards=%d exchange=%dB", sh.Shards, sh.ExchangeSummaryBytes)
+	}
+	fmt.Printf("shardsmoke: served knn matched over %d shards (splitter=%s, exchange=%dB)\n",
+		sh.Shards, sh.Splitter, sh.ExchangeSummaryBytes)
+
+	kresp, err := c.Query(ctx, &serve.QueryRequest{Dataset: "smoke", Problem: "kde", Sigma: sigma, Tau: tau})
+	if err != nil {
+		fail("served kde query: %v", err)
+	}
+	if len(kresp.Values) != len(wantDens) {
+		fail("served kde returned %d values, want %d", len(kresp.Values), len(wantDens))
+	}
+	for i := range wantDens {
+		if d := math.Abs(kresp.Values[i] - wantDens[i]); d > budget {
+			fail("served kde query %d off by %g (> 2nτ = %g)", i, d, budget)
+		}
+	}
+	fmt.Println("shardsmoke: served kde within the τ budget")
+
+	// The exposition must validate, the per-shard ownership gauges must
+	// cover the whole dataset, and the sharded-query and exchange
+	// counters must have advanced.
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		fail("scraping /metrics: %v", err)
+	}
+	e, err := metrics.Validate(body)
+	if err != nil {
+		fail("/metrics exposition does not validate: %v", err)
+	}
+	if pts := e.Sum("portal_shard_points"); pts != float64(n) {
+		fail("portal_shard_points sums to %g across shards, want %d", pts, n)
+	}
+	if q := e.Sum("portal_sharded_queries_total"); q < 2 {
+		fail("portal_sharded_queries_total = %g, want >= 2", q)
+	}
+	if b := e.Sum("portal_shard_exchange_bytes_total"); b <= 0 {
+		fail("portal_shard_exchange_bytes_total = %g, want > 0", b)
+	}
+	fmt.Printf("shardsmoke: /metrics: shard gauges cover %d points, %g sharded queries, %g exchange bytes\n",
+		n, e.Sum("portal_sharded_queries_total"), e.Sum("portal_shard_exchange_bytes_total"))
+
+	p.shutdown()
+	fmt.Println("shardsmoke: PASS")
+}

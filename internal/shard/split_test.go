@@ -1,0 +1,109 @@
+package shard_test
+
+import (
+	"testing"
+
+	"portal/internal/engine"
+	"portal/internal/problems"
+	"portal/internal/shard"
+	"portal/internal/stats"
+	"portal/internal/storage"
+)
+
+func TestSplitBalanceAndRouting(t *testing.T) {
+	for _, mode := range []shard.Mode{shard.ModeAuto, shard.ModeMorton, shard.ModeORB} {
+		for _, k := range []int{2, 3, 8} {
+			s := genPoints(500, 3, storage.ChooseLayout(3), 41)
+			p := shard.Split(s, shard.Options{K: k, Mode: mode, LeafSize: 16})
+			if p.K() != k {
+				t.Fatalf("mode %v K=%d: got %d pieces", mode, k, p.K())
+			}
+			total, lo, hi := 0, s.Len(), 0
+			for _, pc := range p.Pieces {
+				n := len(pc.Orig)
+				total += n
+				if n < lo {
+					lo = n
+				}
+				if n > hi {
+					hi = n
+				}
+				if pc.Tree == nil || pc.Tree.Len() != n || pc.Store.Len() != n {
+					t.Fatalf("mode %v K=%d: piece tree/store inconsistent", mode, k)
+				}
+			}
+			if total != s.Len() {
+				t.Fatalf("mode %v K=%d: pieces cover %d points, want %d", mode, k, total, s.Len())
+			}
+			if hi-lo > 1 {
+				t.Fatalf("mode %v K=%d: imbalance %d..%d, want equal counts", mode, k, lo, hi)
+			}
+			// The router must send every point back to the piece that
+			// owns it (distinct coordinates: no boundary ties).
+			rq := p.RouteQueries(s, shard.Options{K: k, LeafSize: 16})
+			for i, pc := range p.Pieces {
+				own := make(map[int]bool, len(pc.Orig))
+				for _, g := range pc.Orig {
+					own[g] = true
+				}
+				for _, g := range rq.Pieces[i].Orig {
+					if !own[g] {
+						t.Fatalf("mode %v K=%d: point %d routed to shard %d but owned elsewhere", mode, k, g, i)
+					}
+				}
+				if len(rq.Pieces[i].Orig) != len(pc.Orig) {
+					t.Fatalf("mode %v K=%d: shard %d routed %d points, owns %d",
+						mode, k, i, len(rq.Pieces[i].Orig), len(pc.Orig))
+				}
+			}
+		}
+	}
+}
+
+func TestSplitterSelection(t *testing.T) {
+	s := genPoints(300, 3, storage.ChooseLayout(3), 43)
+	if p := shard.Split(s, shard.Options{K: 4}); p.Splitter != "morton" {
+		t.Fatalf("distinct points split by %q, want morton", p.Splitter)
+	}
+	if p := shard.Split(s, shard.Options{K: 4, Mode: shard.ModeORB}); p.Splitter != "orb" {
+		t.Fatalf("forced ORB reported %q", p.Splitter)
+	}
+	dup := storage.New(100, 2)
+	for i := 0; i < 100; i++ {
+		dup.SetPoint(i, []float64{1, 1})
+	}
+	if p := shard.Split(dup, shard.Options{K: 4}); p.Splitter != "orb" {
+		t.Fatalf("duplicate points split by %q, want orb fallback", p.Splitter)
+	}
+	// Too many dimensions to interleave 64 bits: ORB fallback.
+	wide := genPoints(100, 70, storage.RowMajor, 44)
+	if p := shard.Split(wide, shard.Options{K: 2}); p.Splitter != "orb" {
+		t.Fatalf("70-d data split by %q, want orb fallback", p.Splitter)
+	}
+}
+
+// TestExchangeShipsBoundary pins the suite against a vacuous pass: at
+// realistic shard counts a bound-rule problem must actually import
+// boundary points — if the exchange shipped nothing, kNN across shard
+// boundaries would be wrong and the differential suite meaningless.
+func TestExchangeShipsBoundary(t *testing.T) {
+	s := genPoints(400, 3, storage.ChooseLayout(3), 47)
+	sink := &stats.Report{}
+	_, err := engine.Run("knn", problems.KNNSpec(s, s, 5),
+		engine.Config{LeafSize: 16, Parallel: true, Workers: 4, Shards: 4, StatsSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts, bytes int64
+	for _, ps := range sink.Sharding.PerShard {
+		pts += ps.ImportedPoints
+		bytes += ps.ExchangeSummaryBytes
+	}
+	if pts == 0 {
+		t.Fatal("kNN exchange imported no boundary points")
+	}
+	if bytes == 0 || sink.Sharding.ExchangeSummaryBytes != bytes {
+		t.Fatalf("exchange bytes inconsistent: total %d, per-shard sum %d",
+			sink.Sharding.ExchangeSummaryBytes, bytes)
+	}
+}

@@ -38,6 +38,15 @@ func goldenReport() *Report {
 		},
 		Build:  TreeBuildStats{Workers: 4, TasksSpawned: 6, InlineFallbacks: 1},
 		Phases: Phases{TreeBuild: 12 * time.Millisecond, Traversal: 80 * time.Millisecond, Finalize: time.Millisecond},
+		Sharding: &ShardingStats{
+			Shards: 2, Splitter: "morton", ExchangeSummaryBytes: 65536,
+			PerShard: []ShardStats{
+				{Shard: 0, Points: 5000, QueryPoints: 5000, BuildNS: 4000000, TraverseNS: 30000000,
+					ImportedPoints: 700, ImportedAggregates: 12, ExchangeSummaryBytes: 32768},
+				{Shard: 1, Points: 5000, QueryPoints: 5000, BuildNS: 4100000, TraverseNS: 31000000,
+					ImportedPoints: 650, ImportedAggregates: 9, ExchangeSummaryBytes: 32768},
+			},
+		},
 		Trace: &trace.Profile{
 			WallNS: 93000000, Spans: 33, TraverseSpans: 21, BuildSpans: 7,
 			ListBuildSpans: 4, ListExecSpans: 1,
@@ -63,7 +72,7 @@ func goldenReport() *Report {
 	}
 }
 
-// TestReportGoldenJSON pins the schema_version=3 JSON wire format.
+// TestReportGoldenJSON pins the schema_version=4 JSON wire format.
 func TestReportGoldenJSON(t *testing.T) {
 	b, err := goldenReport().JSON()
 	if err != nil {
@@ -71,7 +80,7 @@ func TestReportGoldenJSON(t *testing.T) {
 	}
 	b = append(b, '\n')
 
-	golden := filepath.Join("testdata", "report_v3.golden.json")
+	golden := filepath.Join("testdata", "report_v4.golden.json")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

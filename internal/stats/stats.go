@@ -44,7 +44,15 @@ import (
 // the span invariant to traverse + list-build spans == tasks_executed
 // (list-building tasks stand in for traverse tasks one-for-one; the
 // execution phase's list-exec spans are outside the invariant).
-const ReportSchemaVersion = 3
+//
+// Version 4: the sharded execution tier added the optional "sharding"
+// block (ShardingStats: splitter, per-shard build/traverse counters,
+// and exchange_summary_bytes — the locally-essential-tree
+// communication volume). Unsharded runs omit the block and are
+// otherwise unchanged; the traverse-span invariant now also counts
+// traversals run per shard (their task spans land in the same
+// traverse/list-build names).
+const ReportSchemaVersion = 4
 
 // TraversalStats counts traversal events. Within one task the fields
 // are plain (single-writer); cross-task aggregation goes through
@@ -233,6 +241,50 @@ func (s *TreeBuildStats) Add(o TreeBuildStats) {
 	s.InlineFallbacks += o.InlineFallbacks
 }
 
+// ShardStats is one shard's slice of a sharded execution: its share
+// of the domain, its tree build, and what the boundary exchange
+// imported for it.
+type ShardStats struct {
+	// Shard is the shard index (0-based).
+	Shard int `json:"shard"`
+	// Points is the shard's reference point count; QueryPoints is the
+	// number of query points routed to the shard (equal for
+	// self-joins).
+	Points      int64 `json:"points"`
+	QueryPoints int64 `json:"query_points"`
+	// BuildNS is the shard tree's construction wall time.
+	BuildNS int64 `json:"build_ns"`
+	// TraverseNS is the shard's traversal wall time (local run plus
+	// the locally-essential import run).
+	TraverseNS int64 `json:"traverse_ns"`
+	// ImportedPoints and ImportedAggregates count the boundary
+	// summary entries the shard imported from its peers: real points
+	// that joined the locally-essential tree, and pruned node
+	// aggregates (centroid+mass or bulk counts/ranges) applied
+	// without traversal.
+	ImportedPoints     int64 `json:"imported_points"`
+	ImportedAggregates int64 `json:"imported_aggregates"`
+	// ExchangeSummaryBytes is the summary volume the shard imported —
+	// this shard's share of the total communication metric.
+	ExchangeSummaryBytes int64 `json:"exchange_summary_bytes"`
+}
+
+// ShardingStats describes one sharded execution: the domain split and
+// the boundary-exchange volume (the communication metric the
+// locally-essential-tree design exists to minimize).
+type ShardingStats struct {
+	// Shards is the shard count K.
+	Shards int `json:"shards"`
+	// Splitter names the domain splitter that produced the partition
+	// ("morton" or "orb").
+	Splitter string `json:"splitter"`
+	// ExchangeSummaryBytes totals the boundary summaries exchanged
+	// across all shard pairs.
+	ExchangeSummaryBytes int64 `json:"exchange_summary_bytes"`
+	// PerShard holds the per-shard breakdown, indexed by shard.
+	PerShard []ShardStats `json:"per_shard,omitempty"`
+}
+
 // CacheCounters records compiled-problem cache behaviour: how many
 // executions reused a cached Executable (skipping the optimization
 // passes and codegen entirely) versus compiling fresh. Surfaced on
@@ -307,6 +359,11 @@ type Report struct {
 	// for one-shot compiles. A cumulative snapshot of the cache, not a
 	// per-run delta — Merge keeps the latest one.
 	CompileCache *CacheCounters `json:"compile_cache,omitempty"`
+	// Sharding describes the domain split and boundary-exchange
+	// volume when the execution ran under the sharded tier; nil for
+	// unsharded runs. Merge keeps the latest one (per-shard counters
+	// describe one partition, not an accumulation).
+	Sharding *ShardingStats `json:"sharding,omitempty"`
 }
 
 // Merge folds another execution's report into r; iterative problems
@@ -320,6 +377,9 @@ func (r *Report) Merge(o *Report) {
 	}
 	if o.CompileCache != nil {
 		r.CompileCache = o.CompileCache
+	}
+	if o.Sharding != nil {
+		r.Sharding = o.Sharding
 	}
 	if o.Problem != "" && r.Problem == "" {
 		r.Problem = o.Problem
@@ -396,6 +456,15 @@ func (r *Report) String() string {
 	}
 	if c := r.CompileCache; c != nil {
 		s += fmt.Sprintf("\n  compile cache: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if sh := r.Sharding; sh != nil {
+		var imp, agg int64
+		for _, ps := range sh.PerShard {
+			imp += ps.ImportedPoints
+			agg += ps.ImportedAggregates
+		}
+		s += fmt.Sprintf("\n  sharding: K=%d splitter=%s exchange=%dB (imported points=%d aggregates=%d)",
+			sh.Shards, sh.Splitter, sh.ExchangeSummaryBytes, imp, agg)
 	}
 	if r.Trace != nil {
 		s += "\n  " + strings.ReplaceAll(strings.TrimRight(r.Trace.String(), "\n"), "\n", "\n  ")

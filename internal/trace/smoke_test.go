@@ -60,7 +60,7 @@ func TestKDESmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Report.JSON: %v", err)
 	}
-	if !bytes.Contains(b, []byte(`"schema_version": 3`)) {
+	if !bytes.Contains(b, []byte(`"schema_version": 4`)) {
 		t.Error("report JSON missing schema_version")
 	}
 	if sink.SchemaVersion != stats.ReportSchemaVersion {
